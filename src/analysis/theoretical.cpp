@@ -1,0 +1,86 @@
+#include "analysis/theoretical.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace horam::analysis {
+
+double average_c(const std::vector<double>& stage_c,
+                 const std::vector<double>& stage_fractions) {
+  expects(stage_c.size() == stage_fractions.size() && !stage_c.empty(),
+          "stage arrays must match and be non-empty");
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t s = 0; s < stage_c.size(); ++s) {
+    weighted += stage_c[s] * stage_fractions[s];
+    total += stage_fractions[s];
+  }
+  expects(total > 0.0, "stage fractions must sum to something positive");
+  return weighted / total;
+}
+
+double path_level(double n_blocks, double big_n_blocks, double z) {
+  expects(n_blocks > 0 && big_n_blocks >= n_blocks && z > 0,
+          "need 0 < n <= N and Z > 0");
+  return std::log2(n_blocks / z) + std::log2(2.0 * big_n_blocks / n_blocks);
+}
+
+rw_overhead path_oram_io_per_request(double big_n_blocks, double n_blocks,
+                                     double z) {
+  expects(n_blocks > 0 && big_n_blocks >= n_blocks,
+          "need 0 < n <= N");
+  const double storage_levels = std::log2(2.0 * big_n_blocks / n_blocks);
+  return rw_overhead{z * storage_levels, z * storage_levels};
+}
+
+rw_overhead horam_io_per_request(double big_n_blocks, double n_blocks,
+                                 double c) {
+  expects(n_blocks > 0 && big_n_blocks >= n_blocks && c > 0,
+          "need 0 < n <= N and c > 0");
+  const double reads =
+      1.0 + 2.0 * (big_n_blocks - n_blocks) / (n_blocks * c);
+  const double writes = 2.0 * big_n_blocks / (n_blocks * c);
+  return rw_overhead{reads, writes};
+}
+
+double theoretical_gain(double ratio_big_n_over_n, double c, double z,
+                        double read_bps, double write_bps) {
+  expects(ratio_big_n_over_n >= 1.0, "storage must be at least memory-size");
+  // Scale-free in n: evaluate at n = 1.
+  const rw_overhead path =
+      path_oram_io_per_request(ratio_big_n_over_n, 1.0, z);
+  const rw_overhead horam =
+      horam_io_per_request(ratio_big_n_over_n, 1.0, c);
+  return path.weighted(read_bps, write_bps) /
+         horam.weighted(read_bps, write_bps);
+}
+
+std::uint64_t requests_per_period(std::uint64_t n_blocks, double c) {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(n_blocks) / 2.0 * c);
+}
+
+period_overhead horam_period_overhead(std::uint64_t big_n_blocks,
+                                      std::uint64_t n_blocks, double c,
+                                      std::uint64_t block_bytes) {
+  period_overhead result;
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+  const double kb = 1024.0;
+  const double block_kb = static_cast<double>(block_bytes) / kb;
+  const double requests =
+      static_cast<double>(requests_per_period(n_blocks, c));
+
+  result.access_read_kb = block_kb;  // one block load per I/O access
+  result.shuffle_read_gb = static_cast<double>(big_n_blocks - n_blocks) *
+                           static_cast<double>(block_bytes) / gib;
+  result.shuffle_write_gb = static_cast<double>(big_n_blocks) *
+                            static_cast<double>(block_bytes) / gib;
+  result.average_read_kb =
+      result.access_read_kb +
+      result.shuffle_read_gb * gib / kb / requests;
+  result.average_write_kb = result.shuffle_write_gb * gib / kb / requests;
+  return result;
+}
+
+}  // namespace horam::analysis

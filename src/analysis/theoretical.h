@@ -1,0 +1,70 @@
+// Closed-form overhead model of §5.1 (Equations 5-1 through 5-6).
+//
+// All quantities are in block units per request unless stated
+// otherwise. N = total blocks, n = blocks that fit in memory, Z = Path
+// ORAM bucket size, c = in-memory requests serviced per storage load.
+#ifndef HORAM_ANALYSIS_THEORETICAL_H
+#define HORAM_ANALYSIS_THEORETICAL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace horam::analysis {
+
+/// Read/write amounts in block units.
+struct rw_overhead {
+  double reads = 0.0;
+  double writes = 0.0;
+
+  [[nodiscard]] double total() const noexcept { return reads + writes; }
+  /// Time-weighted total given device throughputs (bytes/s are
+  /// arbitrary units; only the ratio matters).
+  [[nodiscard]] double weighted(double read_bps, double write_bps) const {
+    return reads / read_bps + writes / write_bps;
+  }
+};
+
+/// Eq 5-1: average group size over the stages, weighted by the number
+/// of requests per stage.
+double average_c(const std::vector<double>& stage_c,
+                 const std::vector<double>& stage_fractions);
+
+/// Eq 5-2: total path level of the baseline (memory + storage part).
+/// Returns log2(n/Z) + log2(2N/n).
+double path_level(double n_blocks, double big_n_blocks, double z);
+
+/// Eq 5-3: baseline Path ORAM storage I/O per request — Z*log2(2N/n)
+/// block reads and the same in writes (the tree-top part is in memory).
+rw_overhead path_oram_io_per_request(double big_n_blocks, double n_blocks,
+                                     double z);
+
+/// Eq 5-4: H-ORAM storage I/O per request — one block read per load
+/// plus the amortised shuffle (reads (N - n), writes N, every n*c/2
+/// requests).
+rw_overhead horam_io_per_request(double big_n_blocks, double n_blocks,
+                                 double c);
+
+/// Figure 5-1 ordinate: how many times H-ORAM reduces the baseline's
+/// I/O overhead at the given N/n ratio, weighted by the device's
+/// read/write throughputs.
+double theoretical_gain(double ratio_big_n_over_n, double c, double z,
+                        double read_bps, double write_bps);
+
+/// Eq 5-5 / Table 5-1: requests a period serves (n/2 loads, c each).
+std::uint64_t requests_per_period(std::uint64_t n_blocks, double c);
+
+/// Eq 5-6 / Table 5-1 rows, in KB for the paper's 1 KB blocks.
+struct period_overhead {
+  double access_read_kb = 0.0;    // per request during the access period
+  double shuffle_read_gb = 0.0;   // per period
+  double shuffle_write_gb = 0.0;  // per period
+  double average_read_kb = 0.0;   // per request, shuffle amortised
+  double average_write_kb = 0.0;
+};
+period_overhead horam_period_overhead(std::uint64_t big_n_blocks,
+                                      std::uint64_t n_blocks, double c,
+                                      std::uint64_t block_bytes);
+
+}  // namespace horam::analysis
+
+#endif  // HORAM_ANALYSIS_THEORETICAL_H

@@ -1,0 +1,104 @@
+// H-ORAM configuration (the knobs of §4 and §5 of the paper).
+#ifndef HORAM_CORE_CONFIG_H
+#define HORAM_CORE_CONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam {
+
+/// One scheduler stage (§4.2): while this stage is active the scheduler
+/// groups `c` in-memory accesses with each storage load. The paper's
+/// experiment uses {c=1 for 20%, c=3 for 13%, c=5 for 67%} of each
+/// access period.
+struct scheduler_stage {
+  std::uint32_t c = 1;
+  double fraction = 1.0;
+};
+
+/// Shuffle execution policies.
+enum class shuffle_policy : std::uint8_t {
+  /// Foreground: the shuffle's full device time extends the run
+  /// (honest accounting, used for Tables 5-3 / 5-4).
+  foreground,
+  /// Writes are absorbed by a write-back cache and flushed with
+  /// otherwise-idle device time during the next access period; leftover
+  /// debt stalls the next shuffle (models the page-cache behaviour of
+  /// the paper's testbed).
+  async_writeback,
+  /// The shuffle runs entirely off the critical path (remote server /
+  /// off-line hours — the paper's Figure 5-2 non-shuffle case).
+  offloaded,
+};
+
+/// Static parameters of an H-ORAM instance.
+struct horam_config {
+  /// Real data blocks protected (N).
+  std::uint64_t block_count = 0;
+  /// Capacity of the in-memory ORAM tree in blocks (n); the access
+  /// period allows n/2 storage loads (§4.1.2).
+  std::uint64_t memory_blocks = 0;
+  /// Application payload bytes per block.
+  std::size_t payload_bytes = 0;
+  /// Block size used for device timing (the paper uses 1 KB blocks);
+  /// 0 = encoded record size.
+  std::uint64_t logical_block_bytes = 0;
+  /// Path ORAM bucket size (Z).
+  std::uint32_t bucket_size = 4;
+
+  /// Scheduler stages; fractions refer to the period's load budget and
+  /// should sum to 1 (the last stage absorbs any remainder).
+  std::vector<scheduler_stage> stages = {{1, 0.20}, {3, 0.13}, {5, 0.67}};
+  /// Prefetch window: the scheduler scans d = prefetch_factor * c
+  /// requests ahead in the ROB table (§4.2 requires d > c).
+  std::uint32_t prefetch_factor = 3;
+
+  /// Physical partition capacity = partition_slack * (N / #partitions).
+  /// 1.05 keeps the storage footprint near the paper's N blocks while
+  /// making per-partition overflow negligible (excess is sheltered).
+  double partition_slack = 1.05;
+  /// Shuffle 1/shuffle_every_periods of the partitions per period
+  /// (§5.3.1 partial shuffle; 1 = full shuffle every period).
+  std::uint32_t shuffle_every_periods = 1;
+
+  shuffle_policy shuffle = shuffle_policy::foreground;
+
+  /// Real sealing (tests) vs plaintext records with modelled crypto
+  /// time (large benches).
+  bool seal = true;
+  std::uint64_t key_seed = 0x686f72616d;  // "horam"
+
+  /// Derived: number of storage partitions (~sqrt(N)).
+  [[nodiscard]] std::uint64_t partition_count() const {
+    return util::isqrt_ceil(block_count);
+  }
+  /// Derived: storage loads per access period (n/2).
+  [[nodiscard]] std::uint64_t period_loads() const {
+    return memory_blocks / 2;
+  }
+
+  /// Validates the invariants the components rely on.
+  void validate() const {
+    expects(block_count > 0, "block_count must be positive");
+    expects(payload_bytes > 0, "payload_bytes must be positive");
+    expects(memory_blocks >= 2 * bucket_size,
+            "memory must hold at least one tree bucket pair");
+    expects(memory_blocks / 2 < block_count,
+            "memory as large as the dataset needs no storage layer");
+    expects(!stages.empty(), "at least one scheduler stage");
+    for (const scheduler_stage& stage : stages) {
+      expects(stage.c >= 1, "stage group size must be >= 1");
+      expects(stage.fraction > 0.0, "stage fraction must be positive");
+    }
+    expects(prefetch_factor >= 1, "prefetch window must cover the group");
+    expects(partition_slack >= 1.0, "partition slack below 1 cannot fit");
+    expects(shuffle_every_periods >= 1, "shuffle cadence must be >= 1");
+  }
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_CONFIG_H

@@ -1,0 +1,162 @@
+// H-ORAM controller: the trusted orchestrator tying together the
+// in-memory Path ORAM cache, the partitioned storage layer, the ROB
+// table and the secure scheduler (Figure 4-1).
+//
+// Operation (§4.1): during an access period each cycle issues exactly
+// one storage load (real miss, or a dummy that may prefetch) in
+// parallel with c in-memory path accesses; the cycle lasts
+// max(io lane, memory lane) of virtual time. After n/2 loads the
+// controller runs the shuffle period: oblivious tree evict, group-and-
+// partition shuffle, tree re-initialisation. The shuffle's device time
+// is charged according to the configured shuffle_policy (foreground /
+// page-cache-style async write-back / fully offloaded — Figure 5-2).
+#ifndef HORAM_CORE_CONTROLLER_H
+#define HORAM_CORE_CONTROLLER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/rob_table.h"
+#include "core/scheduler.h"
+#include "core/storage_layer.h"
+#include "oram/common/access_trace.h"
+#include "oram/common/types.h"
+#include "oram/path/path_oram.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace horam {
+
+/// One application request.
+struct request {
+  oram::op_kind op = oram::op_kind::read;
+  oram::block_id id = 0;
+  /// Submitting user (multi-user front end; 0 for single user).
+  std::uint32_t user = 0;
+  /// Payload for writes (empty for reads).
+  std::vector<std::uint8_t> write_data;
+};
+
+/// Per-request outcome (optional output of run()).
+struct request_result {
+  sim::sim_time completion_time = 0;
+  /// Control-layer knowledge: was the block memory-resident when first
+  /// scheduled? (Never observable on the bus.)
+  bool hit = false;
+  std::vector<std::uint8_t> read_data;
+};
+
+/// Aggregate counters of a controller run.
+struct controller_stats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t cycles = 0;  // == storage loads issued (paper: "I/O accesses")
+  std::uint64_t real_loads = 0;
+  std::uint64_t dummy_loads = 0;
+  std::uint64_t dummy_path_accesses = 0;
+  std::uint64_t periods = 0;  // completed shuffle periods
+
+  sim::sim_time access_time = 0;   // wall time of access periods
+  sim::sim_time shuffle_time = 0;  // device time of shuffle periods
+  sim::sim_time total_time = 0;    // wall time incl. charged shuffles
+  sim::sim_time io_busy = 0;       // storage-device busy time
+  sim::sim_time memory_busy = 0;   // memory-device busy time
+  sim::sim_time cpu_busy = 0;      // control-layer busy time
+  sim::sim_time io_load_time = 0;  // storage time of loads only
+
+  /// Average storage-load service time (the paper's "I/O Latency").
+  [[nodiscard]] double average_io_latency_us() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(io_load_time) / 1e3 /
+                             static_cast<double>(cycles);
+  }
+  /// Realised average group size (the paper's ĉ, Eq 5-1).
+  [[nodiscard]] double average_c() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(requests) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class controller {
+ public:
+  /// `storage_device` backs the partitioned store; `memory_device`
+  /// backs the in-memory tree. Pass a filler to give blocks initial
+  /// contents (null = zero-filled).
+  controller(const horam_config& config, sim::block_device& storage_device,
+             sim::block_device& memory_device, const sim::cpu_model& cpu,
+             util::random_source& rng, oram::access_trace* trace = nullptr,
+             const std::function<void(oram::block_id,
+                                      std::span<std::uint8_t>)>* filler =
+                 nullptr);
+
+  /// Processes a batch of requests to completion. Results (per-request
+  /// completion time, read payloads) are captured when `results` is
+  /// non-null. May be called repeatedly; virtual time accumulates.
+  void run(std::span<const request> requests,
+           std::vector<request_result>* results = nullptr);
+
+  /// Convenience single-request API (examples / interactive use); pads
+  /// the group with dummies like any other cycle.
+  std::vector<std::uint8_t> read(oram::block_id id);
+  void write(oram::block_id id, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const controller_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] sim::sim_time now() const noexcept { return clock_.now(); }
+  [[nodiscard]] const horam_config& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const oram::path_oram& memory_tree() const noexcept {
+    return *tree_;
+  }
+  [[nodiscard]] const storage_layer& storage() const noexcept {
+    return *storage_;
+  }
+  /// Trusted-memory bytes the control layer occupies (reporting).
+  [[nodiscard]] std::uint64_t control_memory_bytes() const;
+
+ private:
+  [[nodiscard]] bool resident(oram::block_id id) const;
+  /// Executes one scheduler cycle against `requests`; returns the
+  /// number of requests serviced.
+  std::uint64_t run_cycle(std::span<const request> requests,
+                          std::vector<request_result>* results);
+  void run_shuffle_period();
+  /// Services one hit request via the memory lane; returns its cost.
+  oram::cost_split service_hit(const request& req, request_result* result);
+
+  horam_config config_;
+  const sim::cpu_model& cpu_;
+  util::random_source& rng_;
+  oram::access_trace* trace_;
+
+  sim::sim_clock clock_;
+  std::unique_ptr<oram::path_oram> tree_;
+  std::unique_ptr<storage_layer> storage_;
+  scheduler scheduler_;
+  rob_table rob_;
+
+  /// Control-layer shelter for shuffle-overflow blocks; resident from
+  /// the scheduler's point of view (served with dummy path accesses).
+  std::unordered_map<oram::block_id, std::vector<std::uint8_t>> shelter_;
+
+  std::uint64_t loads_this_period_ = 0;
+  std::uint64_t period_index_ = 0;
+  /// Outstanding async write-back debt (shuffle_policy::async_writeback).
+  sim::sim_time flush_debt_ = 0;
+
+  controller_stats stats_;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_CONTROLLER_H

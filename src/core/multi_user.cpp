@@ -1,0 +1,85 @@
+#include "core/multi_user.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace horam {
+
+void multi_user_frontend::grant(std::uint32_t user, user_grant grant) {
+  expects(grant.first <= grant.last, "grant range must be ordered");
+  grants_[user] = grant;
+}
+
+multi_user_summary multi_user_frontend::run(
+    std::vector<std::vector<request>> per_user) {
+  multi_user_summary summary;
+  summary.users.resize(per_user.size());
+
+  // Access control happens before scheduling: a denied request leaves
+  // no observable trace.
+  for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+    const auto it = grants_.find(user);
+    if (it == grants_.end()) {
+      continue;
+    }
+    for (const request& req : per_user[user]) {
+      if (!it->second.allows(req.id)) {
+        throw access_denied(user, req.id);
+      }
+    }
+  }
+
+  // Round-robin interleave: one request per user per round, skipping
+  // exhausted queues (fair service order; §5.3.2's access control hook).
+  std::vector<request> merged;
+  std::vector<std::size_t> cursors(per_user.size(), 0);
+  std::size_t remaining = 0;
+  for (const auto& queue : per_user) {
+    remaining += queue.size();
+  }
+  merged.reserve(remaining);
+  while (remaining > 0) {
+    for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+      if (cursors[user] < per_user[user].size()) {
+        request req = per_user[user][cursors[user]++];
+        req.user = user;
+        merged.push_back(std::move(req));
+        --remaining;
+      }
+    }
+  }
+
+  const sim::sim_time start = controller_.now();
+  std::vector<request_result> results;
+  controller_.run(merged, &results);
+  summary.makespan = controller_.now() - start;
+
+  // Latency = completion - batch start (all requests are queued
+  // up-front; an arrival-time model would subtract arrivals instead).
+  std::vector<sim::sim_time> total_latency(per_user.size(), 0);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const std::uint32_t user = merged[i].user;
+    const sim::sim_time latency = results[i].completion_time - start;
+    total_latency[user] += latency;
+    summary.users[user].max_latency =
+        std::max(summary.users[user].max_latency, latency);
+    ++summary.users[user].requests;
+  }
+  for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+    summary.users[user].user = user;
+    if (summary.users[user].requests > 0) {
+      summary.users[user].mean_latency =
+          total_latency[user] /
+          static_cast<sim::sim_time>(summary.users[user].requests);
+    }
+  }
+  summary.throughput =
+      summary.makespan > 0
+          ? static_cast<double>(merged.size()) * 1e9 /
+                static_cast<double>(summary.makespan)
+          : 0.0;
+  return summary;
+}
+
+}  // namespace horam

@@ -1,0 +1,84 @@
+// Multi-user front end (§5.3.2).
+//
+// H-ORAM inherits the square-root family's support for group accesses:
+// requests from several users can share one scheduling group, so adding
+// users raises throughput instead of serialising whole ORAM accesses.
+// The front end interleaves per-user queues round-robin into one
+// request stream (simple fair access control), runs it through the
+// controller, and splits latency statistics back out per user.
+#ifndef HORAM_CORE_MULTI_USER_H
+#define HORAM_CORE_MULTI_USER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/controller.h"
+
+namespace horam {
+
+/// Per-user outcome of a multi-user run.
+struct user_summary {
+  std::uint32_t user = 0;
+  std::uint64_t requests = 0;
+  sim::sim_time mean_latency = 0;
+  sim::sim_time max_latency = 0;
+};
+
+/// Aggregate outcome of a multi-user run.
+struct multi_user_summary {
+  std::vector<user_summary> users;
+  sim::sim_time makespan = 0;
+  /// Requests per virtual second across all users.
+  double throughput = 0.0;
+};
+
+/// Per-user access-control entry: the half-open block range a user may
+/// touch (§5.3.2: "some access control protection is required and can
+/// be added to our scheduler").
+struct user_grant {
+  oram::block_id first = 0;
+  oram::block_id last = 0;  // exclusive
+
+  [[nodiscard]] bool allows(oram::block_id id) const noexcept {
+    return id >= first && id < last;
+  }
+};
+
+class multi_user_frontend {
+ public:
+  explicit multi_user_frontend(controller& ctrl) : controller_(ctrl) {}
+
+  /// Restricts user `user` to `grant`. Users without a grant may touch
+  /// everything (single-tenant compatibility).
+  void grant(std::uint32_t user, user_grant grant);
+
+  /// Interleaves the user queues round-robin and runs them to
+  /// completion. Request `user` fields are overwritten with the queue
+  /// index. Throws access_denied if a request violates its user's
+  /// grant — before anything reaches the ORAM, so a rejected request
+  /// leaves no trace on the bus.
+  multi_user_summary run(std::vector<std::vector<request>> per_user);
+
+ private:
+  controller& controller_;
+  std::unordered_map<std::uint32_t, user_grant> grants_;
+};
+
+/// Thrown when a request violates its user's grant.
+class access_denied : public std::runtime_error {
+ public:
+  access_denied(std::uint32_t user, oram::block_id id)
+      : std::runtime_error("user " + std::to_string(user) +
+                           " may not access block " + std::to_string(id)),
+        user(user),
+        id(id) {}
+
+  std::uint32_t user;
+  oram::block_id id;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_MULTI_USER_H

@@ -1,0 +1,63 @@
+// ROB (re-order buffer) table: the control-layer queue the scheduler
+// scans (Figure 4-1 item "ROB Table", §4.2). Requests enter in program
+// order; the scheduler may service them out of order (hits overtake
+// misses), which is exactly what a re-order buffer permits.
+#ifndef HORAM_CORE_ROB_TABLE_H
+#define HORAM_CORE_ROB_TABLE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "util/contracts.h"
+
+namespace horam {
+
+/// FIFO of outstanding request indices with per-entry scheduling state.
+class rob_table {
+ public:
+  struct entry {
+    std::uint64_t request_index = 0;
+    /// The entry's block is being fetched by the current cycle's I/O
+    /// load; it becomes serviceable next cycle.
+    bool loading = false;
+  };
+
+  void push(std::uint64_t request_index) {
+    entries_.push_back(entry{request_index, false});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// position 0 = oldest outstanding request.
+  [[nodiscard]] const entry& at(std::size_t position) const {
+    expects(position < entries_.size(), "ROB position out of range");
+    return entries_[position];
+  }
+  [[nodiscard]] entry& at(std::size_t position) {
+    expects(position < entries_.size(), "ROB position out of range");
+    return entries_[position];
+  }
+
+  /// Removes the entry at `position` (after servicing).
+  void remove(std::size_t position) {
+    expects(position < entries_.size(), "ROB position out of range");
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(position));
+  }
+
+  void clear_loading_flags() {
+    for (entry& e : entries_) {
+      e.loading = false;
+    }
+  }
+
+ private:
+  std::deque<entry> entries_;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_ROB_TABLE_H

@@ -1,0 +1,138 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace horam::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t v, int n) noexcept {
+  return (v << n) | (v >> (32 - n));
+}
+
+constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b;
+  d = rotl32(d ^ a, 16);
+  c += d;
+  b = rotl32(b ^ c, 12);
+  a += b;
+  d = rotl32(d ^ a, 8);
+  c += d;
+  b = rotl32(b ^ c, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const chacha_key& key, std::uint32_t counter,
+                    const chacha_nonce& nonce,
+                    std::span<std::uint8_t, 64> out) {
+  // RFC 8439 state layout: constants, key, counter, nonce.
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = load_le32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = load_le32(nonce.data() + 4 * i);
+  }
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof working);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, working[i] + state[i]);
+  }
+}
+
+void chacha20_xor(const chacha_key& key, const chacha_nonce& nonce,
+                  std::uint32_t initial_counter,
+                  std::span<std::uint8_t> data) {
+  std::array<std::uint8_t, 64> keystream;
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, counter++, nonce, keystream);
+    const std::size_t chunk = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      data[offset + i] ^= keystream[i];
+    }
+    offset += chunk;
+  }
+}
+
+chacha_rng::chacha_rng(const chacha_key& key, std::uint64_t stream)
+    : key_(key) {
+  // The stream index occupies the first 8 nonce bytes; the remaining 4
+  // stay zero. Each (key, stream) pair yields an independent keystream.
+  for (int i = 0; i < 8; ++i) {
+    nonce_[i] = static_cast<std::uint8_t>(stream >> (8 * i));
+  }
+}
+
+chacha_rng::chacha_rng(std::uint64_t seed, std::uint64_t stream)
+    : chacha_rng(
+          [&] {
+            chacha_key key{};
+            // Expand the seed with splitmix64 so near-by seeds yield
+            // unrelated keys.
+            std::uint64_t x = seed;
+            for (int word = 0; word < 4; ++word) {
+              x += 0x9e3779b97f4a7c15ULL;
+              std::uint64_t z = x;
+              z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+              z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+              z ^= z >> 31;
+              for (int i = 0; i < 8; ++i) {
+                key[8 * word + i] = static_cast<std::uint8_t>(z >> (8 * i));
+              }
+            }
+            return key;
+          }(),
+          stream) {}
+
+std::uint64_t chacha_rng::next_u64() {
+  if (used_ + 8 > buffer_.size()) {
+    refill();
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(buffer_[used_ + i]) << (8 * i);
+  }
+  used_ += 8;
+  return value;
+}
+
+void chacha_rng::refill() {
+  chacha20_block(key_, counter_++, nonce_, buffer_);
+  used_ = 0;
+}
+
+}  // namespace horam::crypto

@@ -1,0 +1,63 @@
+// Authenticated block sealing: encrypt-then-MAC with ChaCha20 + SipHash.
+//
+// Every block leaving the trusted control layer is sealed under a fresh
+// nonce, so two ciphertexts of the same plaintext are unlinkable — the
+// property that lets H-ORAM rewrite unmodified data during path
+// write-back and shuffles without revealing that nothing changed.
+#ifndef HORAM_CRYPTO_SEAL_H
+#define HORAM_CRYPTO_SEAL_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/siphash.h"
+
+namespace horam::crypto {
+
+/// Extra bytes a sealed block carries beyond the plaintext
+/// (12-byte nonce + 8-byte MAC).
+inline constexpr std::size_t seal_overhead = 12 + 8;
+
+/// Key material for the sealing scheme (independent encryption and MAC
+/// keys, per standard encrypt-then-MAC practice).
+struct seal_keys {
+  chacha_key encryption_key{};
+  siphash_key mac_key{};
+};
+
+/// Derives both keys deterministically from a 64-bit master seed.
+seal_keys derive_seal_keys(std::uint64_t master_seed);
+
+/// Stateful sealer. Nonces are drawn from an internal counter, which is
+/// unique-per-seal as long as one sealer instance guards one store.
+class block_sealer {
+ public:
+  explicit block_sealer(const seal_keys& keys);
+
+  /// Seals `plaintext`; the result is plaintext.size() + seal_overhead
+  /// bytes: nonce || ciphertext || mac.
+  [[nodiscard]] std::vector<std::uint8_t> seal(
+      std::span<const std::uint8_t> plaintext);
+
+  /// Opens a sealed buffer. Throws crypto_error if the MAC check fails
+  /// (tampering) or the buffer is malformed.
+  [[nodiscard]] std::vector<std::uint8_t> open(
+      std::span<const std::uint8_t> sealed) const;
+
+ private:
+  seal_keys keys_;
+  std::uint64_t nonce_counter_ = 0;
+};
+
+/// Thrown when authentication fails or a sealed buffer is malformed.
+class crypto_error : public std::runtime_error {
+ public:
+  explicit crypto_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace horam::crypto
+
+#endif  // HORAM_CRYPTO_SEAL_H

@@ -1,0 +1,27 @@
+// SipHash-2-4 (Aumasson & Bernstein), implemented from scratch.
+//
+// Serves as the keyed PRF of the codebase: block MACs (crypto/seal.h) and
+// pseudorandom address derivation where a permutation needs to be
+// recomputable from a small secret.
+#ifndef HORAM_CRYPTO_SIPHASH_H
+#define HORAM_CRYPTO_SIPHASH_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace horam::crypto {
+
+/// 128-bit SipHash key.
+using siphash_key = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key`; returns the 64-bit tag.
+std::uint64_t siphash24(const siphash_key& key,
+                        std::span<const std::uint8_t> data);
+
+/// PRF convenience: SipHash of a single 64-bit message word.
+std::uint64_t siphash24_u64(const siphash_key& key, std::uint64_t value);
+
+}  // namespace horam::crypto
+
+#endif  // HORAM_CRYPTO_SIPHASH_H

@@ -1,0 +1,72 @@
+#include "oram/common/block_codec.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+
+namespace horam::oram {
+
+block_codec::block_codec(std::size_t payload_bytes, bool seal,
+                         std::uint64_t key_seed)
+    : payload_bytes_(payload_bytes),
+      seal_(seal),
+      record_bytes_(8 + payload_bytes +
+                    (seal ? crypto::seal_overhead : 0)),
+      sealer_(crypto::derive_seal_keys(key_seed)) {
+  expects(payload_bytes > 0, "payload must be non-empty");
+}
+
+void block_codec::encode(block_id id, std::span<const std::uint8_t> payload,
+                         std::span<std::uint8_t> record_out) {
+  expects(record_out.size() >= record_bytes_, "record buffer too small");
+  expects(payload.size() <= payload_bytes_, "payload larger than block");
+
+  std::vector<std::uint8_t> plain(8 + payload_bytes_, 0);
+  for (int i = 0; i < 8; ++i) {
+    plain[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(id >> (8 * i));
+  }
+  if (!payload.empty()) {
+    std::memcpy(plain.data() + 8, payload.data(), payload.size());
+  }
+
+  if (seal_) {
+    const std::vector<std::uint8_t> sealed = sealer_.seal(plain);
+    invariant(sealed.size() == record_bytes_, "sealed size mismatch");
+    std::memcpy(record_out.data(), sealed.data(), sealed.size());
+  } else {
+    std::memcpy(record_out.data(), plain.data(), plain.size());
+  }
+}
+
+void block_codec::encode_dummy(std::span<std::uint8_t> record_out) {
+  encode(dummy_block_id, {}, record_out);
+}
+
+block_id block_codec::decode(std::span<const std::uint8_t> record,
+                             std::span<std::uint8_t> payload_out) const {
+  expects(record.size() >= record_bytes_, "record buffer too small");
+
+  const std::uint8_t* plain = nullptr;
+  std::vector<std::uint8_t> opened;
+  if (seal_) {
+    opened = sealer_.open(record.first(record_bytes_));
+    invariant(opened.size() == 8 + payload_bytes_, "opened size mismatch");
+    plain = opened.data();
+  } else {
+    plain = record.data();
+  }
+
+  block_id id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<block_id>(plain[i]) << (8 * i);
+  }
+  if (!payload_out.empty()) {
+    expects(payload_out.size() >= payload_bytes_,
+            "payload buffer too small");
+    std::memcpy(payload_out.data(), plain + 8, payload_bytes_);
+  }
+  return id;
+}
+
+}  // namespace horam::oram

@@ -1,0 +1,62 @@
+// Encoding of logical blocks into fixed-size store records.
+//
+// Record layout (plaintext form): 8-byte little-endian block id followed
+// by the payload. With sealing enabled the whole plaintext is wrapped by
+// crypto::block_sealer (nonce || ciphertext || mac), so records on
+// untrusted stores reveal nothing — in particular not whether they are
+// dummies — and are integrity-protected.
+//
+// Sealing can be disabled for large benchmark runs: records are stored
+// in the clear, but callers still charge the modelled crypto time, so
+// virtual-time results are identical.
+#ifndef HORAM_ORAM_COMMON_BLOCK_CODEC_H
+#define HORAM_ORAM_COMMON_BLOCK_CODEC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/seal.h"
+#include "oram/common/types.h"
+
+namespace horam::oram {
+
+/// Encodes and decodes (id, payload) pairs to fixed-size records.
+class block_codec {
+ public:
+  /// `payload_bytes` is the application payload per block; `seal` turns
+  /// real encryption + MAC on; `key_seed` derives the keys.
+  block_codec(std::size_t payload_bytes, bool seal, std::uint64_t key_seed);
+
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return payload_bytes_;
+  }
+  [[nodiscard]] std::size_t record_bytes() const noexcept {
+    return record_bytes_;
+  }
+  [[nodiscard]] bool sealing() const noexcept { return seal_; }
+
+  /// Encodes a block into `record_out` (record_bytes long). A dummy
+  /// block is encoded by passing dummy_block_id and an empty payload.
+  void encode(block_id id, std::span<const std::uint8_t> payload,
+              std::span<std::uint8_t> record_out);
+
+  /// Convenience for dummy records.
+  void encode_dummy(std::span<std::uint8_t> record_out);
+
+  /// Decodes a record; returns the block id (dummy_block_id for
+  /// dummies) and copies the payload into `payload_out` if non-empty.
+  /// Throws crypto::crypto_error on MAC failure when sealing.
+  block_id decode(std::span<const std::uint8_t> record,
+                  std::span<std::uint8_t> payload_out) const;
+
+ private:
+  std::size_t payload_bytes_;
+  bool seal_;
+  std::size_t record_bytes_;
+  crypto::block_sealer sealer_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_COMMON_BLOCK_CODEC_H

@@ -1,0 +1,75 @@
+// Position map: block id -> Path ORAM leaf. Lives in the trusted
+// control layer (the paper's "secure shelter"); lookups are charged as
+// control-layer bookkeeping by the callers.
+#ifndef HORAM_ORAM_COMMON_POSITION_MAP_H
+#define HORAM_ORAM_COMMON_POSITION_MAP_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "oram/common/types.h"
+#include "util/contracts.h"
+
+namespace horam::oram {
+
+/// Dense map over a fixed id universe [0, universe). Absent entries are
+/// explicit, so the same structure doubles as the "is the block cached
+/// in memory?" bit H-ORAM's permutation list consults.
+class position_map {
+ public:
+  explicit position_map(std::uint64_t universe)
+      : leaves_(universe, absent) {}
+
+  [[nodiscard]] std::uint64_t universe() const noexcept {
+    return leaves_.size();
+  }
+
+  [[nodiscard]] bool contains(block_id id) const {
+    expects(id < leaves_.size(), "block id outside the universe");
+    return leaves_[id] != absent;
+  }
+
+  [[nodiscard]] leaf_id leaf_of(block_id id) const {
+    expects(contains(id), "block has no assigned leaf");
+    return leaves_[id];
+  }
+
+  void assign(block_id id, leaf_id leaf) {
+    expects(id < leaves_.size(), "block id outside the universe");
+    expects(leaf != absent, "reserved leaf value");
+    leaves_[id] = leaf;
+  }
+
+  void remove(block_id id) {
+    expects(id < leaves_.size(), "block id outside the universe");
+    leaves_[id] = absent;
+  }
+
+  void clear() {
+    std::fill(leaves_.begin(), leaves_.end(), absent);
+  }
+
+  /// Number of present entries (linear scan; test/diagnostic use).
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t count = 0;
+    for (const leaf_id leaf : leaves_) {
+      count += leaf != absent ? 1 : 0;
+    }
+    return count;
+  }
+
+  /// Bytes of trusted memory this map occupies (reporting; the paper's
+  /// Figure 4-1 annotates it as "Position map (4MB)").
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return leaves_.size() * sizeof(leaf_id);
+  }
+
+ private:
+  static constexpr leaf_id absent = std::numeric_limits<leaf_id>::max();
+  std::vector<leaf_id> leaves_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_COMMON_POSITION_MAP_H

@@ -1,0 +1,61 @@
+// Path ORAM stash: trusted holding area for blocks between path reads
+// and write-backs. Tracks its peak occupancy so tests can assert the
+// standard Path ORAM bound (small constant for Z >= 4).
+#ifndef HORAM_ORAM_COMMON_STASH_H
+#define HORAM_ORAM_COMMON_STASH_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/common/types.h"
+
+namespace horam::oram {
+
+/// A block held in trusted memory.
+struct stash_entry {
+  leaf_id leaf = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Keyed holding area with peak tracking.
+class stash {
+ public:
+  [[nodiscard]] bool contains(block_id id) const {
+    return entries_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_; }
+
+  /// Inserts or overwrites a block.
+  void put(block_id id, leaf_id leaf, std::span<const std::uint8_t> payload) {
+    auto& entry = entries_[id];
+    entry.leaf = leaf;
+    entry.payload.assign(payload.begin(), payload.end());
+    peak_ = std::max(peak_, entries_.size());
+  }
+
+  /// Mutable access; the block must be present.
+  [[nodiscard]] stash_entry& at(block_id id) { return entries_.at(id); }
+  [[nodiscard]] const stash_entry& at(block_id id) const {
+    return entries_.at(id);
+  }
+
+  void erase(block_id id) { entries_.erase(id); }
+  void clear() { entries_.clear(); }
+
+  /// Iteration over held blocks (write-back candidate selection).
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+  [[nodiscard]] auto begin() { return entries_.begin(); }
+  [[nodiscard]] auto end() { return entries_.end(); }
+
+ private:
+  std::unordered_map<block_id, stash_entry> entries_;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_COMMON_STASH_H

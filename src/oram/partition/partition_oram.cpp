@@ -1,0 +1,265 @@
+#include "oram/partition/partition_oram.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "shuffle/fisher_yates.h"
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+partition_oram::partition_oram(const partition_oram_config& config,
+                               sim::block_device& storage_device,
+                               const sim::cpu_model& cpu,
+                               util::random_source& rng, access_trace* trace)
+    : config_(config),
+      codec_(config.payload_bytes, config.seal, config.key_seed),
+      cpu_(cpu),
+      rng_(rng),
+      trace_(trace) {
+  expects(config_.block_count > 0, "need at least one block");
+  expects(config_.capacity_slack >= 1.0, "slack below 1 cannot fit blocks");
+
+  const std::uint64_t partitions = util::isqrt_ceil(config_.block_count);
+  const std::uint64_t expected =
+      util::ceil_div(config_.block_count, partitions);
+  const std::uint64_t capacity = static_cast<std::uint64_t>(
+      config_.capacity_slack * static_cast<double>(expected) + 1.0);
+  if (config_.eviction_batch == 0) {
+    config_.eviction_batch = std::max<std::uint64_t>(1, partitions / 4);
+  }
+
+  const std::uint64_t logical = config_.logical_block_bytes != 0
+                                    ? config_.logical_block_bytes
+                                    : codec_.record_bytes();
+  store_ = std::make_unique<storage::partitioned_store>(
+      storage_device, /*base_offset=*/0,
+      storage::partition_geometry{partitions, capacity,
+                                  /*append_capacity=*/0},
+      codec_.record_bytes(), logical);
+
+  locations_.resize(config_.block_count);
+  contents_.assign(partitions,
+                   std::vector<block_id>(capacity, dummy_block_id));
+  unread_.resize(partitions);
+  record_scratch_.resize(codec_.record_bytes());
+  payload_scratch_.resize(config_.payload_bytes);
+
+  // Initial placement: deal a random permutation of the ids across
+  // partitions, then a random slot order within each partition.
+  const std::vector<std::uint64_t> order =
+      util::random_permutation(rng_, config_.block_count);
+  std::vector<std::uint8_t> image(capacity * codec_.record_bytes());
+  const std::vector<std::uint8_t> zeros(config_.payload_bytes, 0);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    const std::uint64_t count =
+        std::min(expected, config_.block_count - std::min(
+                                config_.block_count, cursor));
+    std::vector<std::uint64_t> slots =
+        util::random_permutation(rng_, capacity);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const block_id id = order[cursor + k];
+      const std::uint32_t index = static_cast<std::uint32_t>(slots[k]);
+      contents_[p][index] = id;
+      locations_[id] =
+          location{static_cast<std::uint32_t>(p), index, false};
+    }
+    cursor += count;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+      const block_id id = contents_[p][i];
+      const std::span<std::uint8_t> record(
+          image.data() + i * codec_.record_bytes(), codec_.record_bytes());
+      if (id == dummy_block_id) {
+        codec_.encode_dummy(record);
+      } else {
+        codec_.encode(id, zeros, record);
+      }
+    }
+    store_->write_partition(p, image);
+    unread_[p].resize(capacity);
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      unread_[p][i] = i;
+    }
+  }
+  storage_device.reset_stats();
+}
+
+cost_split partition_oram::read_slot(std::uint64_t partition,
+                                     std::uint64_t index,
+                                     block_id expected) {
+  cost_split cost;
+  cost.io += store_->read_slot(partition, index, record_scratch_);
+  trace(trace_, event_kind::storage_read_slot,
+        partition * store_->geometry().main_capacity + index);
+  const block_id decoded = codec_.decode(record_scratch_, payload_scratch_);
+  cost.cpu += cpu_.crypto_time(1, codec_.record_bytes());
+  if (expected != dummy_block_id) {
+    invariant(decoded == expected, "slot map out of sync with storage");
+  }
+  // Consume the slot from the unread pool.
+  auto& pool = unread_[partition];
+  const auto it = std::find(pool.begin(), pool.end(),
+                            static_cast<std::uint32_t>(index));
+  invariant(it != pool.end(), "slot read twice within one shuffle epoch");
+  *it = pool.back();
+  pool.pop_back();
+  return cost;
+}
+
+cost_split partition_oram::access(op_kind op, block_id id,
+                                  std::span<const std::uint8_t> write_data,
+                                  std::span<std::uint8_t> read_out) {
+  expects(id < config_.block_count, "block id out of range");
+  cost_split cost;
+  ++stats_.accesses;
+  cost.cpu += cpu_.word_ops_time(8);
+
+  const location loc = locations_[id];
+  if (loc.in_stash) {
+    ++stats_.stash_hits;
+    // Mask the hit with a dummy read from a random partition that still
+    // has unread slots. If the slot holds a live block it joins the
+    // stash (the protocol's dummy fetches are real fetches — otherwise
+    // the consumed slot would strand its block).
+    std::uint64_t p = util::uniform_below(rng_, partition_count());
+    for (std::uint64_t tries = 0; unread_[p].empty(); ++tries) {
+      invariant(tries < 2 * partition_count(),
+                "all partitions exhausted of unread slots");
+      p = util::uniform_below(rng_, partition_count());
+    }
+    const std::uint64_t pick =
+        util::uniform_below(rng_, unread_[p].size());
+    const std::uint64_t index = unread_[p][pick];
+    const block_id found = contents_[p][index];
+    cost += read_slot(p, index, found);
+    if (found != dummy_block_id) {
+      contents_[p][index] = dummy_block_id;
+      stash_.emplace(found,
+                     std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                               payload_scratch_.end()));
+      locations_[found].in_stash = true;
+    }
+  } else {
+    cost += read_slot(loc.partition, loc.index, id);
+    contents_[loc.partition][loc.index] = dummy_block_id;
+    stash_.emplace(id,
+                   std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                             payload_scratch_.end()));
+    locations_[id].in_stash = true;
+  }
+  stats_.stash_peak = std::max(stats_.stash_peak, stash_.size());
+
+  std::vector<std::uint8_t>& payload = stash_.at(id);
+  if (op == op_kind::write) {
+    expects(write_data.size() <= config_.payload_bytes,
+            "write larger than the block payload");
+    std::fill(payload.begin(), payload.end(), 0);
+    std::memcpy(payload.data(), write_data.data(), write_data.size());
+  } else if (!read_out.empty()) {
+    expects(read_out.size() >= config_.payload_bytes,
+            "read buffer too small");
+    std::memcpy(read_out.data(), payload.data(), config_.payload_bytes);
+  }
+
+  if (++accesses_since_evict_ >= config_.eviction_batch) {
+    const std::uint64_t target =
+        util::uniform_below(rng_, partition_count());
+    cost += evict_and_shuffle(target);
+    accesses_since_evict_ = 0;
+  }
+  return cost;
+}
+
+cost_split partition_oram::evict_and_shuffle(std::uint64_t partition) {
+  cost_split cost;
+  ++stats_.evictions;
+  trace(trace_, event_kind::shuffle_partition, partition);
+
+  const std::uint64_t capacity = store_->geometry().main_capacity;
+  const std::size_t record_bytes = codec_.record_bytes();
+
+  // Read the whole partition sequentially (cold data).
+  std::vector<std::uint8_t> image;
+  std::uint64_t records_read = 0;
+  cost.io += store_->read_partition(partition, /*include_appends=*/false,
+                                    image, records_read);
+  trace(trace_, event_kind::storage_read_sweep, partition * capacity,
+        capacity);
+  cost.cpu += cpu_.crypto_time(records_read, record_bytes);
+
+  // Gather survivors: blocks still resident in this partition.
+  struct pending_block {
+    block_id id;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<pending_block> blocks;
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    const block_id id = contents_[partition][i];
+    if (id == dummy_block_id) {
+      continue;
+    }
+    const block_id decoded = codec_.decode(
+        std::span<const std::uint8_t>(image.data() + i * record_bytes,
+                                      record_bytes),
+        payload_scratch_);
+    invariant(decoded == id, "partition contents out of sync");
+    blocks.push_back(pending_block{
+        id, std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                      payload_scratch_.end())});
+  }
+
+  // Merge the stash into this partition, up to physical capacity;
+  // the remainder waits in the stash for the next eviction.
+  std::vector<block_id> stash_ids;
+  stash_ids.reserve(stash_.size());
+  for (const auto& [id, payload] : stash_) {
+    stash_ids.push_back(id);
+  }
+  for (const block_id id : stash_ids) {
+    if (blocks.size() >= capacity) {
+      ++stats_.capacity_overflows;
+      continue;
+    }
+    blocks.push_back(pending_block{id, std::move(stash_.at(id))});
+    stash_.erase(id);
+  }
+
+  // In-memory shuffle (trusted), then rewrite the partition with fresh
+  // dummy padding.
+  std::vector<std::uint64_t> slot_order =
+      util::random_permutation(rng_, capacity);
+  std::fill(contents_[partition].begin(), contents_[partition].end(),
+            dummy_block_id);
+  std::vector<std::uint8_t> out(capacity * record_bytes);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    const std::span<std::uint8_t> record(out.data() + i * record_bytes,
+                                         record_bytes);
+    codec_.encode_dummy(record);
+  }
+  for (std::uint64_t k = 0; k < blocks.size(); ++k) {
+    const std::uint32_t index = static_cast<std::uint32_t>(slot_order[k]);
+    const std::span<std::uint8_t> record(
+        out.data() + index * record_bytes, record_bytes);
+    codec_.encode(blocks[k].id, blocks[k].payload, record);
+    contents_[partition][index] = blocks[k].id;
+    locations_[blocks[k].id] = location{
+        static_cast<std::uint32_t>(partition), index, false};
+  }
+  cost.cpu += cpu_.crypto_time(capacity, record_bytes);
+  cost.cpu += cpu_.word_ops_time(capacity);
+
+  cost.io += store_->write_partition(partition, out);
+  trace(trace_, event_kind::storage_write_sweep, partition * capacity,
+        capacity);
+
+  // Every slot of the rewritten partition is fresh again.
+  unread_[partition].resize(capacity);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    unread_[partition][i] = i;
+  }
+  return cost;
+}
+
+}  // namespace horam::oram

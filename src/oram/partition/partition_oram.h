@@ -1,0 +1,108 @@
+// Partition ORAM, as described in §2.1.4 of the paper: the dataset is
+// split into ~sqrt(N) partitions of ~sqrt(N) blocks; every access
+// fetches exactly one block into the trusted stash; after `eviction
+// batch` accesses the stash is evicted into one uniformly random
+// partition, which is then shuffled in isolation. H-ORAM's security
+// argument (§4.3.3) reduces its group-and-partition shuffle to this
+// scheme's per-partition shuffle.
+#ifndef HORAM_ORAM_PARTITION_PARTITION_ORAM_H
+#define HORAM_ORAM_PARTITION_PARTITION_ORAM_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/common/access_trace.h"
+#include "oram/common/block_codec.h"
+#include "oram/common/types.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "storage/partitioned_store.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+
+/// Static parameters of a partition ORAM instance.
+struct partition_oram_config {
+  /// Real blocks (N).
+  std::uint64_t block_count = 0;
+  /// Accesses between stash evictions (the paper's v; 0 = sqrt(N)/4).
+  std::uint64_t eviction_batch = 0;
+  /// Physical partition capacity = slack * (N / partition_count).
+  double capacity_slack = 1.5;
+  std::size_t payload_bytes = 0;
+  std::uint64_t logical_block_bytes = 0;  // 0 = record size
+  bool seal = true;
+  std::uint64_t key_seed = 0x70617274;  // "part"
+};
+
+/// Counters of a partition ORAM instance.
+struct partition_oram_stats {
+  std::uint64_t accesses = 0;
+  std::uint64_t stash_hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t forced_shuffles = 0;  // unread-slot exhaustion
+  std::size_t stash_peak = 0;
+  std::uint64_t capacity_overflows = 0;  // blocks kept back in the stash
+};
+
+class partition_oram {
+ public:
+  partition_oram(const partition_oram_config& config,
+                 sim::block_device& storage_device,
+                 const sim::cpu_model& cpu, util::random_source& rng,
+                 access_trace* trace);
+
+  /// Performs one ORAM access (absent blocks read as zeros).
+  cost_split access(op_kind op, block_id id,
+                    std::span<const std::uint8_t> write_data,
+                    std::span<std::uint8_t> read_out);
+
+  [[nodiscard]] const partition_oram_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t partition_count() const noexcept {
+    return store_->geometry().partition_count;
+  }
+  [[nodiscard]] std::uint64_t partition_capacity() const noexcept {
+    return store_->geometry().main_capacity;
+  }
+
+ private:
+  struct location {
+    std::uint32_t partition = 0;
+    std::uint32_t index = 0;
+    bool in_stash = false;
+  };
+
+  /// Evicts the stash into a random partition and shuffles it.
+  cost_split evict_and_shuffle(std::uint64_t partition);
+  /// Reads one (partition, index) slot, marking it consumed.
+  cost_split read_slot(std::uint64_t partition, std::uint64_t index,
+                       block_id expected);
+
+  partition_oram_config config_;
+  block_codec codec_;
+  const sim::cpu_model& cpu_;
+  util::random_source& rng_;
+  access_trace* trace_;
+
+  std::unique_ptr<storage::partitioned_store> store_;
+  std::vector<location> locations_;
+  /// contents_[p][i] = block at main slot i of partition p (or dummy).
+  std::vector<std::vector<block_id>> contents_;
+  /// Slots of each partition not yet read since its last shuffle.
+  std::vector<std::vector<std::uint32_t>> unread_;
+  std::unordered_map<block_id, std::vector<std::uint8_t>> stash_;
+  std::uint64_t accesses_since_evict_ = 0;
+  partition_oram_stats stats_;
+
+  std::vector<std::uint8_t> record_scratch_;
+  std::vector<std::uint8_t> payload_scratch_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_PARTITION_PARTITION_ORAM_H

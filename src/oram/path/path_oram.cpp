@@ -1,0 +1,484 @@
+#include "oram/path/path_oram.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+namespace {
+
+/// Chunk size (records) for sequential sweeps, to bound host buffers.
+constexpr std::uint64_t sweep_chunk_records = 1 << 14;
+
+}  // namespace
+
+path_oram::path_oram(const path_oram_config& config,
+                     sim::block_device& memory_device,
+                     sim::block_device* io_device, const sim::cpu_model& cpu,
+                     util::random_source& rng, access_trace* trace)
+    : config_(config),
+      level_count_(static_cast<std::uint32_t>(
+          util::floor_log2(config.leaf_count) + 1)),
+      memory_levels_(std::min(config.memory_levels, level_count_)),
+      bucket_count_(2 * config.leaf_count - 1),
+      memory_bucket_count_((std::uint64_t{1} << memory_levels_) - 1),
+      codec_(config.payload_bytes, config.seal, config.key_seed),
+      cpu_(cpu),
+      rng_(rng),
+      trace_(trace),
+      positions_(config.id_universe) {
+  expects(util::is_pow2(config.leaf_count), "leaf count must be 2^k");
+  expects(config.bucket_size > 0, "bucket size must be positive");
+  expects(config.id_universe > 0, "id universe must be positive");
+
+  const std::uint64_t logical =
+      config.logical_block_bytes != 0 ? config.logical_block_bytes
+                                      : codec_.record_bytes();
+  expects(logical >= codec_.record_bytes(),
+          "logical block smaller than the encoded record");
+
+  memory_store_ = std::make_unique<storage::block_store>(
+      memory_device, /*base_offset=*/0,
+      memory_bucket_count_ * config.bucket_size, codec_.record_bytes(),
+      logical);
+  const std::uint64_t io_buckets = bucket_count_ - memory_bucket_count_;
+  if (io_buckets > 0) {
+    expects(io_device != nullptr,
+            "tree deeper than memory_levels needs a storage device");
+    io_store_ = std::make_unique<storage::block_store>(
+        *io_device, /*base_offset=*/0, io_buckets * config.bucket_size,
+        codec_.record_bytes(), logical);
+  }
+
+  bucket_scratch_.resize(config.bucket_size * codec_.record_bytes());
+  payload_scratch_.resize(config.payload_bytes);
+
+  // Start with a physically dummy-filled tree.
+  reset();
+}
+
+std::uint64_t path_oram::bucket_on_path(leaf_id leaf,
+                                        std::uint32_t level) const {
+  return ((std::uint64_t{1} << level) - 1) +
+         (leaf >> (level_count_ - 1 - level));
+}
+
+bool path_oram::paths_share_bucket(leaf_id a, leaf_id b,
+                                   std::uint32_t level) const {
+  const std::uint32_t shift = level_count_ - 1 - level;
+  return (a >> shift) == (b >> shift);
+}
+
+bool path_oram::bucket_in_memory(std::uint64_t bucket) const noexcept {
+  return bucket < memory_bucket_count_;
+}
+
+cost_split path_oram::read_bucket(std::uint64_t bucket) {
+  cost_split cost;
+  const std::uint64_t z = config_.bucket_size;
+  if (bucket_in_memory(bucket)) {
+    cost.memory += memory_store_->read_range(bucket * z, z, bucket_scratch_);
+    trace(trace_, event_kind::memory_bucket_read, bucket);
+  } else {
+    const std::uint64_t io_bucket = bucket - memory_bucket_count_;
+    cost.io += io_store_->read_range(io_bucket * z, z, bucket_scratch_);
+    trace(trace_, event_kind::storage_read_slot, bucket);
+  }
+  return cost;
+}
+
+cost_split path_oram::write_bucket(std::uint64_t bucket,
+                                   std::span<const std::uint8_t> records) {
+  cost_split cost;
+  const std::uint64_t z = config_.bucket_size;
+  if (bucket_in_memory(bucket)) {
+    cost.memory += memory_store_->write_range(bucket * z, z, records);
+    trace(trace_, event_kind::memory_bucket_write, bucket);
+  } else {
+    const std::uint64_t io_bucket = bucket - memory_bucket_count_;
+    cost.io += io_store_->write_range(io_bucket * z, z, records);
+    trace(trace_, event_kind::storage_write_slot, bucket);
+  }
+  return cost;
+}
+
+bool path_oram::contains(block_id id) const { return positions_.contains(id); }
+
+cost_split path_oram::path_access(
+    leaf_id leaf, block_id requested, op_kind op,
+    std::span<const std::uint8_t> write_data,
+    std::span<std::uint8_t> read_out,
+    const std::function<void(std::span<std::uint8_t>)>* updater) {
+  cost_split cost;
+  trace(trace_, event_kind::memory_path_access, leaf);
+
+  const std::uint64_t z = config_.bucket_size;
+  const std::size_t record_bytes = codec_.record_bytes();
+
+  // Read the path root-to-leaf, moving every real block into the stash.
+  for (std::uint32_t level = 0; level < level_count_; ++level) {
+    const std::uint64_t bucket = bucket_on_path(leaf, level);
+    cost += read_bucket(bucket);
+    for (std::uint64_t k = 0; k < z; ++k) {
+      const std::span<const std::uint8_t> record(
+          bucket_scratch_.data() + k * record_bytes, record_bytes);
+      const block_id id = codec_.decode(record, payload_scratch_);
+      if (id == dummy_block_id) {
+        continue;
+      }
+      invariant(positions_.contains(id),
+                "tree holds a block missing from the position map");
+      stash_.put(id, positions_.leaf_of(id), payload_scratch_);
+    }
+  }
+
+  // Serve the request from the stash.
+  if (requested != dummy_block_id) {
+    if (!stash_.contains(requested)) {
+      // First-ever touch: the block materialises zero-filled.
+      const std::vector<std::uint8_t> zeros(config_.payload_bytes, 0);
+      stash_.put(requested, positions_.leaf_of(requested), zeros);
+    }
+    stash_entry& entry = stash_.at(requested);
+    // The request was remapped before the path read; a block that was
+    // already sheltering in the stash must follow its new leaf, or the
+    // write-back would strand it off its position-map path.
+    entry.leaf = positions_.leaf_of(requested);
+    if (op == op_kind::write) {
+      expects(write_data.size() <= config_.payload_bytes,
+              "write larger than the block payload");
+      std::fill(entry.payload.begin(), entry.payload.end(), 0);
+      std::memcpy(entry.payload.data(), write_data.data(),
+                  write_data.size());
+    } else if (!read_out.empty()) {
+      expects(read_out.size() >= config_.payload_bytes,
+              "read buffer too small");
+      std::memcpy(read_out.data(), entry.payload.data(),
+                  config_.payload_bytes);
+    }
+    if (updater != nullptr) {
+      (*updater)(std::span<std::uint8_t>(entry.payload.data(),
+                                         entry.payload.size()));
+    }
+  }
+
+  // Greedy write-back, deepest bucket first.
+  std::vector<block_id> selected;
+  for (std::uint32_t down = 0; down < level_count_; ++down) {
+    const std::uint32_t level = level_count_ - 1 - down;
+    const std::uint64_t bucket = bucket_on_path(leaf, level);
+    selected.clear();
+    for (const auto& [id, entry] : stash_) {
+      if (paths_share_bucket(entry.leaf, leaf, level)) {
+        selected.push_back(id);
+        if (selected.size() == z) {
+          break;
+        }
+      }
+    }
+    for (std::uint64_t k = 0; k < z; ++k) {
+      const std::span<std::uint8_t> record(
+          bucket_scratch_.data() + k * record_bytes, record_bytes);
+      if (k < selected.size()) {
+        const stash_entry& entry = stash_.at(selected[k]);
+        codec_.encode(selected[k], entry.payload, record);
+      } else {
+        codec_.encode_dummy(record);
+      }
+    }
+    for (const block_id id : selected) {
+      stash_.erase(id);
+    }
+    cost += write_bucket(bucket, bucket_scratch_);
+  }
+
+  // Control-layer cost: decrypt + re-encrypt the full path, plus map and
+  // stash bookkeeping.
+  const std::uint64_t records_touched = 2ULL * level_count_ * z;
+  cost.cpu += cpu_.crypto_time(records_touched, record_bytes);
+  cost.cpu += cpu_.word_ops_time(records_touched + stash_.size());
+  return cost;
+}
+
+cost_split path_oram::access(op_kind op, block_id id,
+                             std::span<const std::uint8_t> write_data,
+                             std::span<std::uint8_t> read_out) {
+  expects(id < positions_.universe(), "block id outside the universe");
+  expects(id != dummy_block_id, "cannot access the dummy id");
+
+  leaf_id old_leaf = 0;
+  if (positions_.contains(id)) {
+    old_leaf = positions_.leaf_of(id);
+  } else {
+    old_leaf = util::uniform_below(rng_, config_.leaf_count);
+    ++resident_;
+  }
+  // Remap before the path read so repeated accesses never repeat leaves.
+  positions_.assign(id, util::uniform_below(rng_, config_.leaf_count));
+  ++stats_.real_accesses;
+  return path_access(old_leaf, id, op, write_data, read_out);
+}
+
+cost_split path_oram::access_rmw(
+    block_id id,
+    const std::function<void(std::span<std::uint8_t>)>& updater) {
+  expects(id < positions_.universe(), "block id outside the universe");
+  expects(static_cast<bool>(updater), "rmw needs an updater");
+
+  leaf_id old_leaf = 0;
+  if (positions_.contains(id)) {
+    old_leaf = positions_.leaf_of(id);
+  } else {
+    old_leaf = util::uniform_below(rng_, config_.leaf_count);
+    ++resident_;
+  }
+  positions_.assign(id, util::uniform_below(rng_, config_.leaf_count));
+  ++stats_.real_accesses;
+  return path_access(old_leaf, id, op_kind::read, {}, {}, &updater);
+}
+
+cost_split path_oram::dummy_access() {
+  ++stats_.dummy_accesses;
+  const leaf_id leaf = util::uniform_below(rng_, config_.leaf_count);
+  return path_access(leaf, dummy_block_id, op_kind::read, {}, {});
+}
+
+cost_split path_oram::install(block_id id,
+                              std::span<const std::uint8_t> payload) {
+  expects(id < positions_.universe(), "block id outside the universe");
+  expects(!positions_.contains(id), "block already resident");
+  const leaf_id leaf = util::uniform_below(rng_, config_.leaf_count);
+  positions_.assign(id, leaf);
+  stash_.put(id, leaf, payload);
+  ++resident_;
+  ++stats_.installs;
+
+  cost_split cost;
+  cost.cpu += cpu_.word_ops_time(4);
+  return cost;
+}
+
+cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
+  cost_split cost;
+  ++stats_.evictions;
+  out.clear();
+
+  const std::size_t record_bytes = codec_.record_bytes();
+
+  // 1) Stream the whole tree (sequential sweeps) and decode.
+  std::vector<std::uint8_t> chunk;
+  const auto sweep = [&](storage::block_store& store, bool memory_lane) {
+    const std::uint64_t slots = store.slot_count();
+    for (std::uint64_t first = 0; first < slots;
+         first += sweep_chunk_records) {
+      const std::uint64_t count =
+          std::min(sweep_chunk_records, slots - first);
+      chunk.resize(count * record_bytes);
+      const sim::sim_time t = store.read_range(first, count, chunk);
+      (memory_lane ? cost.memory : cost.io) += t;
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::span<const std::uint8_t> record(
+            chunk.data() + k * record_bytes, record_bytes);
+        const block_id id = codec_.decode(record, payload_scratch_);
+        if (id == dummy_block_id) {
+          continue;
+        }
+        out.push_back(evicted_block{
+            id, std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                          payload_scratch_.end())});
+      }
+    }
+  };
+  sweep(*memory_store_, /*memory_lane=*/true);
+  if (io_store_) {
+    sweep(*io_store_, /*memory_lane=*/false);
+  }
+
+  // Stash contents are part of the eviction too.
+  for (const auto& [id, entry] : stash_) {
+    out.push_back(evicted_block{id, entry.payload});
+  }
+
+  // 2) Oblivious shuffle of the eviction buffer. Correctness-wise a
+  // uniform shuffle; cost-wise the K-oblivious cache shuffle the paper
+  // selects: two passes over all tree slots (spray + clean), each pass
+  // decrypting and re-encrypting every record and moving it through
+  // memory once.
+  const std::uint64_t total_slots = capacity_blocks();
+  cost.cpu += cpu_.crypto_time(4 * total_slots, record_bytes);
+  const std::uint64_t sweep_bytes =
+      total_slots * memory_store_->logical_block_bytes();
+  cost.memory += memory_store_->device().read(0, sweep_bytes);
+  cost.memory += memory_store_->device().write(0, sweep_bytes);
+  cost.memory += memory_store_->device().read(0, sweep_bytes);
+  cost.memory += memory_store_->device().write(0, sweep_bytes);
+
+  std::vector<std::uint64_t> order = util::random_permutation(
+      rng_, static_cast<std::uint64_t>(out.size()));
+  std::vector<evicted_block> shuffled(out.size());
+  for (std::uint64_t i = 0; i < out.size(); ++i) {
+    shuffled[order[i]] = std::move(out[i]);
+  }
+  out = std::move(shuffled);
+
+  // 3) Dummies were dropped during the decode scan; clear logical state.
+  invariant(out.size() == resident_, "eviction lost blocks");
+  positions_.clear();
+  stash_.clear();
+  resident_ = 0;
+  return cost;
+}
+
+cost_split path_oram::reset() {
+  cost_split cost;
+  const std::size_t record_bytes = codec_.record_bytes();
+
+  std::vector<std::uint8_t> chunk;
+  const auto rewrite = [&](storage::block_store& store, bool memory_lane) {
+    const std::uint64_t slots = store.slot_count();
+    for (std::uint64_t first = 0; first < slots;
+         first += sweep_chunk_records) {
+      const std::uint64_t count =
+          std::min(sweep_chunk_records, slots - first);
+      chunk.resize(count * record_bytes);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        codec_.encode_dummy(std::span<std::uint8_t>(
+            chunk.data() + k * record_bytes, record_bytes));
+      }
+      const sim::sim_time t = store.write_range(first, count, chunk);
+      (memory_lane ? cost.memory : cost.io) += t;
+    }
+    cost.cpu += cpu_.crypto_time(slots, record_bytes);
+  };
+  rewrite(*memory_store_, /*memory_lane=*/true);
+  if (io_store_) {
+    rewrite(*io_store_, /*memory_lane=*/false);
+  }
+
+  positions_.clear();
+  stash_.clear();
+  resident_ = 0;
+  return cost;
+}
+
+cost_split path_oram::initialize_full(
+    std::uint64_t count,
+    const std::function<void(block_id, std::span<std::uint8_t>)>& filler) {
+  expects(count <= positions_.universe(), "more blocks than the universe");
+  expects(count <= capacity_blocks(), "tree cannot hold that many blocks");
+  cost_split cost;
+
+  // Assign leaves and group ids by leaf (counting sort).
+  std::vector<leaf_id> leaves(count);
+  std::vector<std::uint64_t> leaf_counts(config_.leaf_count, 0);
+  for (block_id id = 0; id < count; ++id) {
+    leaves[id] = util::uniform_below(rng_, config_.leaf_count);
+    ++leaf_counts[leaves[id]];
+    positions_.assign(id, leaves[id]);
+  }
+  std::vector<std::uint64_t> leaf_offsets(config_.leaf_count + 1, 0);
+  for (leaf_id l = 0; l < config_.leaf_count; ++l) {
+    leaf_offsets[l + 1] = leaf_offsets[l] + leaf_counts[l];
+  }
+  std::vector<block_id> ids_by_leaf(count);
+  {
+    std::vector<std::uint64_t> cursor(leaf_offsets.begin(),
+                                      leaf_offsets.end() - 1);
+    for (block_id id = 0; id < count; ++id) {
+      ids_by_leaf[cursor[leaves[id]]++] = id;
+    }
+  }
+
+  // Materialise payloads once (indexable by id during the build).
+  std::vector<std::uint8_t> payloads(count * config_.payload_bytes, 0);
+  for (block_id id = 0; id < count; ++id) {
+    filler(id, std::span<std::uint8_t>(
+                   payloads.data() + id * config_.payload_bytes,
+                   config_.payload_bytes));
+  }
+
+  // Bottom-up greedy placement: post-order DFS; each node packs up to Z
+  // pending blocks (all of which have this bucket on their path) and
+  // passes the rest to its parent.
+  const std::uint64_t z = config_.bucket_size;
+  const std::size_t record_bytes = codec_.record_bytes();
+  std::vector<std::uint8_t> tree_image(bucket_count_ * z * record_bytes);
+  for (std::uint64_t slot = 0; slot < bucket_count_ * z; ++slot) {
+    codec_.encode_dummy(std::span<std::uint8_t>(
+        tree_image.data() + slot * record_bytes, record_bytes));
+  }
+
+  const std::function<std::vector<block_id>(std::uint32_t, std::uint64_t)>
+      build = [&](std::uint32_t level,
+                  std::uint64_t node_in_level) -> std::vector<block_id> {
+    std::vector<block_id> pending;
+    if (level == level_count_ - 1) {
+      const std::uint64_t first = leaf_offsets[node_in_level];
+      const std::uint64_t last = leaf_offsets[node_in_level + 1];
+      pending.assign(ids_by_leaf.begin() + static_cast<std::ptrdiff_t>(first),
+                     ids_by_leaf.begin() + static_cast<std::ptrdiff_t>(last));
+    } else {
+      pending = build(level + 1, 2 * node_in_level);
+      std::vector<block_id> right = build(level + 1, 2 * node_in_level + 1);
+      pending.insert(pending.end(), right.begin(), right.end());
+    }
+
+    const std::uint64_t bucket =
+        ((std::uint64_t{1} << level) - 1) + node_in_level;
+    const std::uint64_t take = std::min<std::uint64_t>(z, pending.size());
+    for (std::uint64_t k = 0; k < take; ++k) {
+      const block_id id = pending[pending.size() - 1 - k];
+      codec_.encode(
+          id,
+          std::span<const std::uint8_t>(
+              payloads.data() + id * config_.payload_bytes,
+              config_.payload_bytes),
+          std::span<std::uint8_t>(
+              tree_image.data() + (bucket * z + k) * record_bytes,
+              record_bytes));
+    }
+    pending.resize(pending.size() - take);
+    return pending;
+  };
+  std::vector<block_id> overflow = build(0, 0);
+  for (const block_id id : overflow) {
+    stash_.put(id, leaves[id],
+               std::span<const std::uint8_t>(
+                   payloads.data() + id * config_.payload_bytes,
+                   config_.payload_bytes));
+  }
+
+  // Stream the image out as sequential sweeps on both lanes.
+  const std::uint64_t memory_slots = memory_store_->slot_count();
+  for (std::uint64_t first = 0; first < memory_slots;
+       first += sweep_chunk_records) {
+    const std::uint64_t n = std::min(sweep_chunk_records,
+                                     memory_slots - first);
+    cost.memory += memory_store_->write_range(
+        first, n,
+        std::span<const std::uint8_t>(
+            tree_image.data() + first * record_bytes, n * record_bytes));
+  }
+  if (io_store_) {
+    const std::uint64_t io_slots = io_store_->slot_count();
+    for (std::uint64_t first = 0; first < io_slots;
+         first += sweep_chunk_records) {
+      const std::uint64_t n =
+          std::min(sweep_chunk_records, io_slots - first);
+      cost.io += io_store_->write_range(
+          first, n,
+          std::span<const std::uint8_t>(
+              tree_image.data() + (memory_slots + first) * record_bytes,
+              n * record_bytes));
+    }
+  }
+  cost.cpu += cpu_.crypto_time(bucket_count_ * z, record_bytes);
+
+  resident_ = count;
+  return cost;
+}
+
+}  // namespace horam::oram

@@ -1,0 +1,198 @@
+// Path ORAM (Stefanov et al.), with a configurable memory/storage level
+// split.
+//
+// Two roles in this repository:
+//   * split_level == level_count: the whole tree lives in memory — this
+//     is H-ORAM's in-memory cache tree (§4.1.2);
+//   * split_level < level_count: top levels in memory, deeper levels on
+//     the storage device — the "tree-top cache" baseline the paper
+//     evaluates against (Figure 3-1 a, ZeroTrace-style).
+//
+// Every access reads one root-to-leaf path bucket by bucket, remaps the
+// requested block to a fresh uniform leaf, and greedily writes the path
+// back from the stash. Dummy accesses (random path, write-back
+// unchanged) are indistinguishable from real ones on the bus.
+#ifndef HORAM_ORAM_PATH_PATH_ORAM_H
+#define HORAM_ORAM_PATH_PATH_ORAM_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "oram/common/access_trace.h"
+#include "oram/common/block_codec.h"
+#include "oram/common/position_map.h"
+#include "oram/common/stash.h"
+#include "oram/common/types.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "storage/block_store.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+
+/// Static parameters of a Path ORAM instance.
+struct path_oram_config {
+  /// Number of leaves; must be a power of two. The tree then has
+  /// log2(leaf_count) + 1 levels and (2 * leaf_count - 1) buckets.
+  std::uint64_t leaf_count = 0;
+  /// Blocks per bucket (the paper's Z; default 4 as in §5.1).
+  std::uint32_t bucket_size = 4;
+  /// Application payload bytes per block.
+  std::size_t payload_bytes = 0;
+  /// Logical block size for device timing (0 = record size).
+  std::uint64_t logical_block_bytes = 0;
+  /// Block ids the position map covers (the application address space).
+  std::uint64_t id_universe = 0;
+  /// Number of tree levels resident in memory, counted from the root;
+  /// deeper levels go to the storage device. Use level_count (or any
+  /// larger value) for a fully in-memory tree.
+  std::uint32_t memory_levels = std::numeric_limits<std::uint32_t>::max();
+  /// Seal records with real crypto (tests) or plaintext (large benches;
+  /// modelled crypto time is charged either way).
+  bool seal = true;
+  std::uint64_t key_seed = 0x70617468;  // "path"
+};
+
+/// One evicted real block (output of evict_all).
+struct evicted_block {
+  block_id id = dummy_block_id;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Counters of a Path ORAM instance.
+struct path_oram_stats {
+  std::uint64_t real_accesses = 0;
+  std::uint64_t dummy_accesses = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t evictions = 0;
+};
+
+class path_oram {
+ public:
+  /// `io_device` may be null when every level fits in memory.
+  path_oram(const path_oram_config& config, sim::block_device& memory_device,
+            sim::block_device* io_device, const sim::cpu_model& cpu,
+            util::random_source& rng, access_trace* trace);
+
+  [[nodiscard]] std::uint32_t level_count() const noexcept {
+    return level_count_;
+  }
+  [[nodiscard]] std::uint32_t memory_level_count() const noexcept {
+    return memory_levels_;
+  }
+  [[nodiscard]] std::uint64_t bucket_count() const noexcept {
+    return bucket_count_;
+  }
+  /// Total block slots in the tree (real + dummy capacity).
+  [[nodiscard]] std::uint64_t capacity_blocks() const noexcept {
+    return bucket_count_ * config_.bucket_size;
+  }
+  [[nodiscard]] const path_oram_config& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const path_oram_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const stash& stash_ref() const noexcept { return stash_; }
+
+  /// True iff the block currently lives in this tree (or its stash).
+  [[nodiscard]] bool contains(block_id id) const;
+
+  /// Number of real blocks currently held (tree + stash).
+  [[nodiscard]] std::uint64_t resident_blocks() const noexcept {
+    return resident_;
+  }
+
+  /// Performs one ORAM access. For reads, the payload lands in
+  /// `read_out` (payload_bytes long); absent blocks read as zeros and
+  /// become resident. For writes, `write_data` replaces the payload.
+  cost_split access(op_kind op, block_id id,
+                    std::span<const std::uint8_t> write_data,
+                    std::span<std::uint8_t> read_out);
+
+  /// One-access read-modify-write: `updater` edits the payload while
+  /// the block passes through the stash (packed-entry updates, e.g. the
+  /// recursive position map, use this instead of a read + write pair).
+  cost_split access_rmw(
+      block_id id,
+      const std::function<void(std::span<std::uint8_t>)>& updater);
+
+  /// A dummy access: random path read + write-back. Indistinguishable
+  /// from access() on the bus; drains the stash as a side effect.
+  cost_split dummy_access();
+
+  /// Installs a block arriving from the storage layer into the stash
+  /// with a fresh uniform leaf (H-ORAM's I/O load path). Control-layer
+  /// cost only; the block reaches the tree via later write-backs.
+  cost_split install(block_id id, std::span<const std::uint8_t> payload);
+
+  /// Oblivious tree evict (§4.3.1): sequentially reads the whole tree,
+  /// obliviously shuffles the buffer (K-oblivious cache-shuffle cost
+  /// model), drops dummies and returns every resident real block
+  /// (including stash contents). The tree itself is left untouched;
+  /// call reset() to reinitialise it.
+  cost_split evict_all(std::vector<evicted_block>& out);
+
+  /// Rewrites the whole tree with dummy records and clears the position
+  /// map and stash ("initialize a new Path ORAM tree", §4.1.3).
+  cost_split reset();
+
+  /// Bulk-builds the tree with every id in [0, count) using `filler` to
+  /// produce payloads (baseline initialisation). Blocks are placed
+  /// bottom-up along their leaf paths; overflow lands in the stash.
+  cost_split initialize_full(
+      std::uint64_t count,
+      const std::function<void(block_id, std::span<std::uint8_t>)>& filler);
+
+ private:
+  /// Heap index of the bucket at `level` on the path to `leaf`.
+  [[nodiscard]] std::uint64_t bucket_on_path(leaf_id leaf,
+                                             std::uint32_t level) const;
+  /// True if the bucket at `level` on path-to-`a` is also on
+  /// path-to-`b` (greedy write-back test).
+  [[nodiscard]] bool paths_share_bucket(leaf_id a, leaf_id b,
+                                        std::uint32_t level) const;
+
+  [[nodiscard]] bool bucket_in_memory(std::uint64_t bucket) const noexcept;
+  /// Reads bucket records into scratch_; returns cost on the right lane.
+  cost_split read_bucket(std::uint64_t bucket);
+  cost_split write_bucket(std::uint64_t bucket,
+                          std::span<const std::uint8_t> records);
+
+  cost_split path_access(
+      leaf_id leaf, block_id requested, op_kind op,
+      std::span<const std::uint8_t> write_data,
+      std::span<std::uint8_t> read_out,
+      const std::function<void(std::span<std::uint8_t>)>* updater =
+          nullptr);
+
+  path_oram_config config_;
+  std::uint32_t level_count_;
+  std::uint32_t memory_levels_;
+  std::uint64_t bucket_count_;
+  std::uint64_t memory_bucket_count_;
+
+  block_codec codec_;
+  std::unique_ptr<storage::block_store> memory_store_;
+  std::unique_ptr<storage::block_store> io_store_;
+  const sim::cpu_model& cpu_;
+  util::random_source& rng_;
+  access_trace* trace_;
+
+  position_map positions_;
+  stash stash_;
+  std::uint64_t resident_ = 0;
+  path_oram_stats stats_;
+
+  // Reused per-access scratch (one bucket's records).
+  std::vector<std::uint8_t> bucket_scratch_;
+  std::vector<std::uint8_t> payload_scratch_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_PATH_PATH_ORAM_H

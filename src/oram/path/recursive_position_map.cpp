@@ -1,0 +1,171 @@
+#include "oram/path/recursive_position_map.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+namespace {
+
+/// Smallest power-of-two leaf count whose tree holds `blocks` records.
+std::uint64_t leaves_for(std::uint64_t blocks, std::uint32_t z) {
+  std::uint64_t leaves = 1;
+  while (leaves * z * 2 - z < blocks) {  // capacity = Z*(2*leaves - 1)
+    leaves *= 2;
+  }
+  return leaves;
+}
+
+}  // namespace
+
+recursive_position_map::recursive_position_map(
+    const recursive_map_config& config, sim::block_device& memory_device,
+    const sim::cpu_model& cpu, util::random_source& rng,
+    access_trace* trace)
+    : config_(config) {
+  expects(config_.universe > 0, "map universe must be positive");
+  expects(config_.entries_per_block >= 2,
+          "recursion needs at least two entries per block");
+  expects(config_.direct_threshold >= 1, "threshold must be positive");
+
+  // Build the level chain: level 0 covers the data blocks; level k+1
+  // covers the map blocks of level k; stop when a level fits the
+  // trusted threshold.
+  std::uint64_t entries = config_.universe;
+  while (entries > config_.direct_threshold) {
+    level_entries_.push_back(entries);
+    const std::uint64_t blocks =
+        util::ceil_div(entries, config_.entries_per_block);
+
+    path_oram_config level_config;
+    level_config.leaf_count = leaves_for(blocks, config_.bucket_size);
+    level_config.bucket_size = config_.bucket_size;
+    level_config.payload_bytes =
+        config_.entries_per_block * sizeof(leaf_id);
+    level_config.id_universe = blocks;
+    level_config.seal = config_.seal;
+    level_config.key_seed =
+        config_.key_seed + 0x101 * (levels_.size() + 1);
+    levels_.push_back(std::make_unique<path_oram>(
+        level_config, memory_device, nullptr, cpu, rng, trace));
+
+    // Initialise every map block to all-absent so lookups are total.
+    levels_.back()->initialize_full(
+        blocks, [](block_id, std::span<std::uint8_t> payload) {
+          std::memset(payload.data(), 0xff, payload.size());
+        });
+    entries = blocks;
+  }
+  residue_.assign(entries, absent);
+  payload_scratch_.resize(config_.entries_per_block * sizeof(leaf_id));
+  invariant(!levels_.empty() || config_.universe <= config_.direct_threshold,
+            "chain construction failed");
+}
+
+std::uint64_t recursive_position_map::oram_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) {
+    total += level->capacity_blocks() * level->config().payload_bytes;
+  }
+  return total;
+}
+
+cost_split recursive_position_map::level_access(
+    std::size_t level, std::uint64_t index,
+    std::optional<leaf_id> new_value, leaf_id& current_out) {
+  path_oram& oram = *levels_[level];
+  const std::uint64_t block = index / config_.entries_per_block;
+  const std::uint64_t offset =
+      (index % config_.entries_per_block) * sizeof(leaf_id);
+
+  leaf_id current = absent;
+  const cost_split cost = oram.access_rmw(
+      block, [&](std::span<std::uint8_t> payload) {
+        std::memcpy(&current, payload.data() + offset, sizeof(leaf_id));
+        if (new_value.has_value()) {
+          const leaf_id value = *new_value;
+          std::memcpy(payload.data() + offset, &value, sizeof(leaf_id));
+        }
+      });
+  current_out = current;
+  return cost;
+}
+
+cost_split recursive_position_map::lookup(block_id id,
+                                          std::optional<leaf_id>& out) {
+  expects(id < config_.universe, "block id outside the universe");
+  cost_split cost;
+
+  if (levels_.empty()) {
+    const leaf_id value = residue_[id];
+    out = value == absent ? std::nullopt : std::optional<leaf_id>(value);
+    return cost;
+  }
+
+  // Walk deepest-first, mirroring the real protocol's order: the
+  // residue seeds the deepest map ORAM access, each level's entry
+  // locates the next-shallower map block, level 0 yields the answer.
+  // (Deeper levels carry pattern and cost; the authoritative value
+  // lives in level 0's packed payloads.)
+  for (std::size_t level = levels_.size(); level-- > 1;) {
+    leaf_id ignored = absent;
+    // Index of the level-(k-1) map block this id routes through.
+    std::uint64_t index = id;
+    for (std::size_t k = 0; k < level; ++k) {
+      index /= config_.entries_per_block;
+    }
+    cost += level_access(level, index, std::nullopt, ignored);
+  }
+  leaf_id value = absent;
+  cost += level_access(0, id, std::nullopt, value);
+  out = value == absent ? std::nullopt : std::optional<leaf_id>(value);
+  return cost;
+}
+
+cost_split recursive_position_map::assign(block_id id, leaf_id leaf) {
+  expects(id < config_.universe, "block id outside the universe");
+  expects(leaf != absent, "reserved leaf value");
+  cost_split cost;
+  if (levels_.empty()) {
+    residue_[id] = leaf;
+    return cost;
+  }
+  for (std::size_t level = levels_.size(); level-- > 1;) {
+    leaf_id ignored = absent;
+    std::uint64_t index = id;
+    for (std::size_t k = 0; k < level; ++k) {
+      index /= config_.entries_per_block;
+    }
+    // Deeper map levels refresh their (pattern-bearing) entries too.
+    cost += level_access(level, index, std::optional<leaf_id>(0),
+                         ignored);
+  }
+  leaf_id ignored = absent;
+  cost += level_access(0, id, std::optional<leaf_id>(leaf), ignored);
+  return cost;
+}
+
+cost_split recursive_position_map::remove(block_id id) {
+  expects(id < config_.universe, "block id outside the universe");
+  cost_split cost;
+  if (levels_.empty()) {
+    residue_[id] = absent;
+    return cost;
+  }
+  for (std::size_t level = levels_.size(); level-- > 1;) {
+    leaf_id ignored = absent;
+    std::uint64_t index = id;
+    for (std::size_t k = 0; k < level; ++k) {
+      index /= config_.entries_per_block;
+    }
+    cost += level_access(level, index, std::optional<leaf_id>(0),
+                         ignored);
+  }
+  leaf_id ignored = absent;
+  cost += level_access(0, id, std::optional<leaf_id>(absent), ignored);
+  return cost;
+}
+
+}  // namespace horam::oram

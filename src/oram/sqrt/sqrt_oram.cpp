@@ -1,0 +1,164 @@
+#include "oram/sqrt/sqrt_oram.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+sqrt_oram::sqrt_oram(const sqrt_oram_config& config,
+                     sim::block_device& storage_device,
+                     const sim::cpu_model& cpu, util::random_source& rng,
+                     access_trace* trace)
+    : config_(config),
+      codec_(config.payload_bytes, config.seal, config.key_seed),
+      cpu_(cpu),
+      rng_(rng),
+      trace_(trace) {
+  expects(config_.block_count > 0, "need at least one block");
+  if (config_.dummy_count == 0) {
+    config_.dummy_count = util::isqrt_ceil(config_.block_count);
+  }
+  if (config_.period == 0) {
+    config_.period = util::isqrt_ceil(config_.block_count);
+  }
+  expects(config_.period <= config_.dummy_count,
+          "every shelter hit consumes a dummy: period <= dummy count");
+
+  const std::uint64_t slots = total_slots();
+  const std::uint64_t logical = config_.logical_block_bytes != 0
+                                    ? config_.logical_block_bytes
+                                    : codec_.record_bytes();
+  const std::uint64_t scratch_slots = shuffle::melbourne_scratch_records(
+      slots, config_.reshuffle);
+
+  // Region layout on the device: array A | array B | Melbourne scratch.
+  array_a_ = std::make_unique<storage::block_store>(
+      storage_device, 0, slots, codec_.record_bytes(), logical);
+  array_b_ = std::make_unique<storage::block_store>(
+      storage_device, slots * logical, slots, codec_.record_bytes(),
+      logical);
+  scratch_ = std::make_unique<storage::block_store>(
+      storage_device, 2 * slots * logical, scratch_slots,
+      codec_.record_bytes(), logical);
+
+  record_scratch_.resize(codec_.record_bytes());
+  payload_scratch_.resize(config_.payload_bytes);
+
+  // Initial permuted layout: virtual index v at a uniformly random slot.
+  slot_of_ = util::random_permutation(rng_, slots);
+  std::vector<std::uint8_t> record(codec_.record_bytes());
+  const std::vector<std::uint8_t> zeros(config_.payload_bytes, 0);
+  for (std::uint64_t v = 0; v < slots; ++v) {
+    if (v < config_.block_count) {
+      codec_.encode(v, zeros, record);
+    } else {
+      codec_.encode_dummy(record);
+    }
+    array_a_->write(slot_of_[v], record);
+  }
+  storage_device.reset_stats();
+}
+
+cost_split sqrt_oram::access(op_kind op, block_id id,
+                             std::span<const std::uint8_t> write_data,
+                             std::span<std::uint8_t> read_out) {
+  expects(id < config_.block_count, "block id out of range");
+  cost_split cost;
+  ++stats_.accesses;
+
+  storage::block_store& active = active_is_a_ ? *array_a_ : *array_b_;
+
+  // Scanning the shelter is trusted-memory work.
+  cost.cpu += cpu_.word_ops_time(shelter_.size() + 8);
+  const bool hit = shelter_.contains(id);
+
+  // One storage read per access: the block itself on a miss, the next
+  // unused dummy on a hit (so the adversary always sees one fresh,
+  // uniformly distributed slot).
+  std::uint64_t virtual_index = 0;
+  if (hit) {
+    ++stats_.shelter_hits;
+    invariant(used_dummies_ < config_.dummy_count, "dummies exhausted");
+    virtual_index = config_.block_count + used_dummies_;
+    ++used_dummies_;
+  } else {
+    virtual_index = id;
+  }
+  const std::uint64_t slot = slot_of_[virtual_index];
+  cost.io += active.read(slot, record_scratch_);
+  trace(trace_, event_kind::storage_read_slot, slot);
+  const block_id decoded = codec_.decode(record_scratch_, payload_scratch_);
+  cost.cpu += cpu_.crypto_time(1, codec_.record_bytes());
+
+  if (!hit) {
+    invariant(decoded == id, "permutation list out of sync with storage");
+    shelter_.emplace(id, std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                                   payload_scratch_.end()));
+  }
+  stats_.shelter_peak = std::max(stats_.shelter_peak, shelter_.size());
+
+  // Serve from the shelter.
+  std::vector<std::uint8_t>& payload = shelter_.at(id);
+  if (op == op_kind::write) {
+    expects(write_data.size() <= config_.payload_bytes,
+            "write larger than the block payload");
+    std::fill(payload.begin(), payload.end(), 0);
+    std::memcpy(payload.data(), write_data.data(), write_data.size());
+  } else if (!read_out.empty()) {
+    expects(read_out.size() >= config_.payload_bytes,
+            "read buffer too small");
+    std::memcpy(read_out.data(), payload.data(), config_.payload_bytes);
+  }
+
+  if (++accesses_in_period_ >= config_.period) {
+    cost += reshuffle();
+  }
+  return cost;
+}
+
+cost_split sqrt_oram::reshuffle() {
+  cost_split cost;
+  ++stats_.reshuffles;
+  trace(trace_, event_kind::shuffle_begin, stats_.reshuffles);
+
+  storage::block_store& source = active_is_a_ ? *array_a_ : *array_b_;
+  storage::block_store& target = active_is_a_ ? *array_b_ : *array_a_;
+
+  // Fold the shelter back into the array: rewrite each sheltered
+  // block's slot with its current contents. (The slots were already
+  // revealed when they were read, and the array is about to be
+  // re-permuted, so this leaks nothing new.)
+  std::vector<std::uint8_t> record(codec_.record_bytes());
+  for (const auto& [id, payload] : shelter_) {
+    codec_.encode(id, payload, record);
+    cost.io += source.write(slot_of_[id], record);
+    trace(trace_, event_kind::storage_write_slot, slot_of_[id]);
+  }
+  cost.cpu += cpu_.crypto_time(shelter_.size(), codec_.record_bytes());
+  shelter_.clear();
+
+  // Oblivious reshuffle of the whole array (real + dummy blocks).
+  const shuffle::external_shuffle_result result = shuffle::melbourne_shuffle(
+      source, *scratch_, target, rng_, config_.reshuffle);
+  cost.io += result.io_time;
+  cost.cpu += cpu_.crypto_time(
+      result.stats.bytes_moved / codec_.record_bytes(),
+      codec_.record_bytes());
+  trace(trace_, event_kind::storage_read_sweep, 0, total_slots());
+  trace(trace_, event_kind::storage_write_sweep, 0, total_slots());
+
+  // New permutation list: virtual v moves from slot s to pi[s].
+  for (std::uint64_t v = 0; v < slot_of_.size(); ++v) {
+    slot_of_[v] = result.pi[slot_of_[v]];
+  }
+  cost.cpu += cpu_.word_ops_time(slot_of_.size());
+
+  active_is_a_ = !active_is_a_;
+  used_dummies_ = 0;
+  accesses_in_period_ = 0;
+  return cost;
+}
+
+}  // namespace horam::oram

@@ -1,0 +1,100 @@
+// Square-root ORAM (Goldreich & Ostrovsky), as described in §2.1.3 of
+// the paper: N real blocks padded with dummies and stored permuted; a
+// trusted shelter absorbs accessed blocks; every access reads exactly
+// one permuted slot (the requested block on a miss, the next unused
+// dummy on a shelter hit); after `period` accesses the whole array is
+// obliviously reshuffled (here: Melbourne shuffle, the machinery whose
+// cost motivates H-ORAM's lighter partition shuffle).
+#ifndef HORAM_ORAM_SQRT_SQRT_ORAM_H
+#define HORAM_ORAM_SQRT_SQRT_ORAM_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/common/access_trace.h"
+#include "oram/common/block_codec.h"
+#include "oram/common/types.h"
+#include "shuffle/melbourne.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "storage/block_store.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+
+/// Static parameters of a square-root ORAM instance.
+struct sqrt_oram_config {
+  /// Real blocks (N).
+  std::uint64_t block_count = 0;
+  /// Dummy blocks appended to the permuted array (0 = ceil(sqrt(N))).
+  std::uint64_t dummy_count = 0;
+  /// Accesses between reshuffles (0 = ceil(sqrt(N))); must not exceed
+  /// the dummy count, since each shelter hit consumes one dummy.
+  std::uint64_t period = 0;
+  std::size_t payload_bytes = 0;
+  std::uint64_t logical_block_bytes = 0;  // 0 = record size
+  bool seal = true;
+  std::uint64_t key_seed = 0x73717274;  // "sqrt"
+  shuffle::melbourne_config reshuffle{};
+};
+
+/// Counters of a square-root ORAM instance.
+struct sqrt_oram_stats {
+  std::uint64_t accesses = 0;
+  std::uint64_t shelter_hits = 0;
+  std::uint64_t reshuffles = 0;
+  std::size_t shelter_peak = 0;
+};
+
+class sqrt_oram {
+ public:
+  sqrt_oram(const sqrt_oram_config& config,
+            sim::block_device& storage_device, const sim::cpu_model& cpu,
+            util::random_source& rng, access_trace* trace);
+
+  /// Performs one ORAM access (absent blocks read as zeros).
+  cost_split access(op_kind op, block_id id,
+                    std::span<const std::uint8_t> write_data,
+                    std::span<std::uint8_t> read_out);
+
+  [[nodiscard]] const sqrt_oram_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t total_slots() const noexcept {
+    return config_.block_count + config_.dummy_count;
+  }
+
+ private:
+  /// Writes shelter contents back and re-permutes the whole array.
+  cost_split reshuffle();
+
+  sqrt_oram_config config_;
+  block_codec codec_;
+  const sim::cpu_model& cpu_;
+  util::random_source& rng_;
+  access_trace* trace_;
+
+  // Ping-pong data regions plus Melbourne scratch, on one device.
+  std::unique_ptr<storage::block_store> array_a_;
+  std::unique_ptr<storage::block_store> array_b_;
+  std::unique_ptr<storage::block_store> scratch_;
+  bool active_is_a_ = true;
+
+  /// slot_of_[v] = physical slot of virtual index v (v < N: real block
+  /// v; v >= N: dummy #(v - N)). Trusted control-layer state.
+  std::vector<std::uint64_t> slot_of_;
+  std::unordered_map<block_id, std::vector<std::uint8_t>> shelter_;
+  std::uint64_t used_dummies_ = 0;
+  std::uint64_t accesses_in_period_ = 0;
+  sqrt_oram_stats stats_;
+
+  std::vector<std::uint8_t> record_scratch_;
+  std::vector<std::uint8_t> payload_scratch_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_SQRT_SQRT_ORAM_H

@@ -1,0 +1,121 @@
+#include "shuffle/bitonic.h"
+
+#include <cstring>
+#include <limits>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::shuffle {
+
+void bitonic_network(
+    std::uint64_t n,
+    const std::function<bool(std::size_t, std::size_t)>& less,
+    const std::function<void(std::size_t, std::size_t)>& swap,
+    const touch_observer& observer) {
+  expects(util::is_pow2(n), "bitonic network requires a power-of-two size");
+  expects(static_cast<bool>(less) && static_cast<bool>(swap),
+          "bitonic network needs comparison and swap callbacks");
+
+  // Batcher's iterative bitonic sorting network, ascending order. The
+  // visited (i, partner) pairs depend only on n.
+  for (std::uint64_t k = 2; k <= n; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t partner = i ^ j;
+        if (partner > i) {
+          if (observer) {
+            observer(i, partner);
+          }
+          const bool ascending = (i & k) == 0;
+          const bool out_of_order =
+              ascending ? less(partner, i) : less(i, partner);
+          if (out_of_order) {
+            swap(i, partner);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t bitonic_compare_exchange_count(std::uint64_t n) {
+  expects(n > 0, "count undefined for zero records");
+  if (n == 1) {
+    return 0;
+  }
+  const std::uint64_t m = util::next_pow2(n);
+  const std::uint64_t stages = util::floor_log2(m);
+  // Each (k, j) pass visits m/2 pairs; there are stages*(stages+1)/2
+  // passes in total.
+  return (m / 2) * stages * (stages + 1) / 2;
+}
+
+permutation bitonic_shuffle(util::random_source& rng,
+                            std::span<std::uint8_t> records,
+                            std::size_t record_bytes, shuffle_stats* stats,
+                            const touch_observer& observer) {
+  expects(record_bytes > 0, "record size must be positive");
+  expects(records.size() % record_bytes == 0,
+          "record buffer must be a whole number of records");
+  const std::uint64_t n = records.size() / record_bytes;
+  if (n <= 1) {
+    return permutation(n, 0);
+  }
+  const std::uint64_t m = util::next_pow2(n);
+
+  struct entry {
+    std::uint64_t tag;
+    std::uint64_t origin;
+  };
+  std::vector<entry> entries(m);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // 63-bit tags keep real entries strictly below the padding sentinel.
+    entries[i] = entry{rng.next_u64() >> 1, i};
+  }
+  for (std::uint64_t i = n; i < m; ++i) {
+    entries[i] = entry{std::numeric_limits<std::uint64_t>::max(), i};
+  }
+
+  // Records ride through the network alongside their tags; padding slots
+  // carry zeros and are discarded after the sort.
+  std::vector<std::uint8_t> lane(m * record_bytes, 0);
+  std::memcpy(lane.data(), records.data(), records.size());
+
+  std::vector<std::uint8_t> tmp(record_bytes);
+  const auto less = [&](std::size_t a, std::size_t b) {
+    return entries[a].tag < entries[b].tag;
+  };
+  const auto swap_at = [&](std::size_t a, std::size_t b) {
+    std::swap(entries[a], entries[b]);
+    std::uint8_t* const pa = lane.data() + a * record_bytes;
+    std::uint8_t* const pb = lane.data() + b * record_bytes;
+    std::memcpy(tmp.data(), pa, record_bytes);
+    std::memcpy(pa, pb, record_bytes);
+    std::memcpy(pb, tmp.data(), record_bytes);
+  };
+  const auto count_touch = [&](std::size_t a, std::size_t b) {
+    if (stats != nullptr) {
+      ++stats->touch_ops;
+      stats->bytes_moved += 2 * record_bytes;
+    }
+    if (observer) {
+      observer(a, b);
+    }
+  };
+
+  bitonic_network(m, less, swap_at, count_touch);
+
+  // Padding entries carry the sentinel tag, so they sort to the tail and
+  // the first n lanes are exactly the shuffled real records.
+  std::memcpy(records.data(), lane.data(), records.size());
+  permutation pi(n);
+  for (std::uint64_t position = 0; position < n; ++position) {
+    invariant(entries[position].origin < n,
+              "padding entry sorted into the real region");
+    pi[entries[position].origin] = position;
+  }
+  return pi;
+}
+
+}  // namespace horam::shuffle

@@ -1,0 +1,152 @@
+#include "shuffle/cache_shuffle.h"
+
+#include "shuffle/fisher_yates.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::shuffle {
+
+namespace {
+
+struct layout {
+  std::uint64_t buckets = 0;
+  std::uint64_t bucket_capacity = 0;
+};
+
+layout plan(std::uint64_t n, const cache_shuffle_config& config) {
+  layout l;
+  l.buckets = std::max<std::uint64_t>(
+      1, util::ceil_div(2 * n, config.client_memory_records));
+  l.bucket_capacity = static_cast<std::uint64_t>(
+      config.bucket_slack *
+          static_cast<double>(util::ceil_div(n, l.buckets)) +
+      1.0);
+  return l;
+}
+
+}  // namespace
+
+std::uint64_t cache_shuffle_scratch_records(
+    std::uint64_t n, const cache_shuffle_config& config) {
+  const layout l = plan(n, config);
+  return l.buckets * l.bucket_capacity;
+}
+
+external_shuffle_result cache_shuffle(storage::block_store& input,
+                                      storage::block_store& scratch,
+                                      storage::block_store& output,
+                                      util::random_source& rng,
+                                      const cache_shuffle_config& config) {
+  const std::uint64_t n = input.slot_count();
+  const std::size_t record_bytes = input.record_bytes();
+  expects(scratch.record_bytes() == record_bytes &&
+              output.record_bytes() == record_bytes,
+          "stores must agree on record size");
+  expects(output.slot_count() >= n, "output store too small");
+  expects(config.client_memory_records >= 2, "client memory too small");
+  expects(scratch.slot_count() >= cache_shuffle_scratch_records(n, config),
+          "scratch store too small");
+
+  const layout l = plan(n, config);
+  const std::uint64_t chunk_records =
+      std::min<std::uint64_t>(config.client_memory_records, n);
+
+  external_shuffle_result result;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    if (attempt >= config.max_retries) {
+      throw std::runtime_error(
+          "cache shuffle: bucket overflowed repeatedly; increase "
+          "cache_shuffle_config::bucket_slack");
+    }
+
+    // origin[slot in scratch] = input slot held there (client metadata —
+    // a deployment seals this inside the record).
+    std::vector<std::uint64_t> origin(scratch.slot_count(), 0);
+    std::vector<std::uint64_t> fill(l.buckets, 0);
+    bool overflow = false;
+
+    // Spray pass: stream the input; buffer per-bucket appends within the
+    // client chunk, flush each bucket's new records with one write.
+    std::vector<std::uint8_t> chunk(chunk_records * record_bytes);
+    std::vector<std::vector<std::uint8_t>> pending(l.buckets);
+    std::vector<std::vector<std::uint64_t>> pending_origin(l.buckets);
+    for (std::uint64_t first = 0; first < n && !overflow;
+         first += chunk_records) {
+      const std::uint64_t count = std::min(chunk_records, n - first);
+      result.io_time += input.read_range(first, count, chunk);
+      result.stats.touch_ops += count;
+      result.stats.bytes_moved += count * record_bytes;
+
+      for (auto& p : pending) {
+        p.clear();
+      }
+      for (auto& p : pending_origin) {
+        p.clear();
+      }
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::uint64_t bucket = util::uniform_below(rng, l.buckets);
+        const std::uint8_t* const rec = chunk.data() + k * record_bytes;
+        pending[bucket].insert(pending[bucket].end(), rec,
+                               rec + record_bytes);
+        pending_origin[bucket].push_back(first + k);
+      }
+      for (std::uint64_t b = 0; b < l.buckets && !overflow; ++b) {
+        const std::uint64_t added = pending_origin[b].size();
+        if (added == 0) {
+          continue;
+        }
+        if (fill[b] + added > l.bucket_capacity) {
+          overflow = true;
+          break;
+        }
+        const std::uint64_t base = b * l.bucket_capacity + fill[b];
+        result.io_time += scratch.write_range(base, added, pending[b]);
+        result.stats.bytes_moved += added * record_bytes;
+        for (std::uint64_t k = 0; k < added; ++k) {
+          origin[base + k] = pending_origin[b][k];
+        }
+        fill[b] += added;
+      }
+    }
+    if (overflow) {
+      ++result.stats.retries;
+      result.io_time = 0;
+      continue;
+    }
+
+    // Clean pass: load each bucket, shuffle it in client memory, emit.
+    result.pi.assign(n, 0);
+    std::uint64_t out_position = 0;
+    std::vector<std::uint8_t> bucket_data;
+    for (std::uint64_t b = 0; b < l.buckets; ++b) {
+      const std::uint64_t used = fill[b];
+      if (used == 0) {
+        continue;
+      }
+      bucket_data.resize(used * record_bytes);
+      result.io_time +=
+          scratch.read_range(b * l.bucket_capacity, used, bucket_data);
+      result.stats.bytes_moved += used * record_bytes;
+
+      const permutation local = fisher_yates(
+          rng, std::span<std::uint8_t>(bucket_data), record_bytes);
+      for (std::uint64_t k = 0; k < used; ++k) {
+        const std::uint64_t slot = b * l.bucket_capacity + k;
+        result.pi[origin[slot]] = out_position + local[k];
+      }
+      result.io_time +=
+          output.write_range(out_position, used, bucket_data);
+      result.stats.touch_ops += used;
+      result.stats.bytes_moved += used * record_bytes;
+      out_position += used;
+    }
+    invariant(out_position == n, "clean pass lost records");
+    return result;
+  }
+}
+
+}  // namespace horam::shuffle

@@ -1,0 +1,47 @@
+// CacheShuffle (Patel, Persiano, Yeo) — the K-oblivious shuffle the
+// paper uses as its in-memory shuffle during the group-and-partition
+// stage ("we use the cache shuffle here", §4.3.2).
+//
+// Simplified two-pass variant: a spray pass assigns every record an
+// independent uniform bucket (written through bounded client buffers),
+// then each bucket is loaded into client memory, Fisher-Yates shuffled
+// and emitted. Concatenating independently-bucketed, uniformly ordered
+// buckets yields a uniform permutation. With client memory K >= n the
+// algorithm degenerates to a single in-memory Fisher-Yates — exactly how
+// H-ORAM uses it when the partition fits in memory.
+#ifndef HORAM_SHUFFLE_CACHE_SHUFFLE_H
+#define HORAM_SHUFFLE_CACHE_SHUFFLE_H
+
+#include "shuffle/melbourne.h"
+#include "shuffle/shuffle.h"
+#include "storage/block_store.h"
+
+namespace horam::shuffle {
+
+/// Tuning knobs for CacheShuffle.
+struct cache_shuffle_config {
+  /// Client (trusted) memory, in records. Buckets are sized to roughly
+  /// half of this so a full bucket always fits.
+  std::uint64_t client_memory_records = 1 << 16;
+  /// Bucket physical capacity = slack * expected load.
+  double bucket_slack = 1.6;
+  /// Abort after this many bucket-overflow retries.
+  std::uint64_t max_retries = 32;
+};
+
+/// Scratch records required for n inputs under `config`.
+[[nodiscard]] std::uint64_t cache_shuffle_scratch_records(
+    std::uint64_t n, const cache_shuffle_config& config);
+
+/// Shuffles all records of `input` into `output` using at most
+/// `config.client_memory_records` records of client memory; `scratch`
+/// holds the spray buckets. Throws on repeated bucket overflow.
+external_shuffle_result cache_shuffle(storage::block_store& input,
+                                      storage::block_store& scratch,
+                                      storage::block_store& output,
+                                      util::random_source& rng,
+                                      const cache_shuffle_config& config = {});
+
+}  // namespace horam::shuffle
+
+#endif  // HORAM_SHUFFLE_CACHE_SHUFFLE_H

@@ -1,0 +1,47 @@
+#include "shuffle/fisher_yates.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace horam::shuffle {
+
+permutation fisher_yates(util::random_source& rng,
+                         std::span<std::uint8_t> records,
+                         std::size_t record_bytes, shuffle_stats* stats) {
+  expects(record_bytes > 0, "record size must be positive");
+  expects(records.size() % record_bytes == 0,
+          "record buffer must be a whole number of records");
+  const std::uint64_t n = records.size() / record_bytes;
+
+  // location[i] = current position of the record that started at i.
+  permutation location(n);
+  std::iota(location.begin(), location.end(), std::uint64_t{0});
+  // origin[p] = which original record currently sits at position p.
+  permutation origin(n);
+  std::iota(origin.begin(), origin.end(), std::uint64_t{0});
+
+  std::vector<std::uint8_t> tmp(record_bytes);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t a = i - 1;
+    const std::uint64_t b = util::uniform_below(rng, i);
+    if (a != b) {
+      std::uint8_t* const pa = records.data() + a * record_bytes;
+      std::uint8_t* const pb = records.data() + b * record_bytes;
+      std::memcpy(tmp.data(), pa, record_bytes);
+      std::memcpy(pa, pb, record_bytes);
+      std::memcpy(pb, tmp.data(), record_bytes);
+      std::swap(origin[a], origin[b]);
+      location[origin[a]] = a;
+      location[origin[b]] = b;
+    }
+    if (stats != nullptr) {
+      ++stats->touch_ops;
+      stats->bytes_moved += 2 * record_bytes;
+    }
+  }
+  return location;
+}
+
+}  // namespace horam::shuffle

@@ -1,0 +1,21 @@
+// Fisher-Yates: the non-oblivious in-memory baseline shuffle.
+// Uniform given an unbiased random source; O(n) swaps; the access
+// pattern reveals the permutation, so it may only run inside the trusted
+// control layer (which is exactly how H-ORAM uses in-memory shuffles).
+#ifndef HORAM_SHUFFLE_FISHER_YATES_H
+#define HORAM_SHUFFLE_FISHER_YATES_H
+
+#include "shuffle/shuffle.h"
+
+namespace horam::shuffle {
+
+/// Shuffles `records` in place; returns the permutation applied
+/// (pi[i] = final position of the record initially at i).
+permutation fisher_yates(util::random_source& rng,
+                         std::span<std::uint8_t> records,
+                         std::size_t record_bytes,
+                         shuffle_stats* stats = nullptr);
+
+}  // namespace horam::shuffle
+
+#endif  // HORAM_SHUFFLE_FISHER_YATES_H

@@ -1,0 +1,153 @@
+#include "shuffle/melbourne.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::shuffle {
+
+namespace {
+
+struct layout {
+  std::uint64_t n = 0;
+  std::uint64_t buckets = 0;      // B ~ sqrt(n)
+  std::uint64_t batches = 0;      // R = ceil(n / B)
+  std::uint64_t bucket_span = 0;  // output positions per bucket
+};
+
+layout plan(std::uint64_t n) {
+  layout l;
+  l.n = n;
+  l.buckets = util::isqrt_ceil(n);
+  l.batches = util::ceil_div(n, l.buckets);
+  l.bucket_span = util::ceil_div(n, l.buckets);
+  return l;
+}
+
+}  // namespace
+
+std::uint64_t melbourne_scratch_records(std::uint64_t n,
+                                        const melbourne_config& config) {
+  const layout l = plan(n);
+  return l.batches * l.buckets * config.message_quota;
+}
+
+external_shuffle_result melbourne_shuffle(storage::block_store& input,
+                                          storage::block_store& scratch,
+                                          storage::block_store& output,
+                                          util::random_source& rng,
+                                          const melbourne_config& config) {
+  const std::uint64_t n = input.slot_count();
+  const std::size_t record_bytes = input.record_bytes();
+  expects(scratch.record_bytes() == record_bytes &&
+              output.record_bytes() == record_bytes,
+          "stores must agree on record size");
+  expects(output.slot_count() >= n, "output store too small");
+  expects(scratch.slot_count() >= melbourne_scratch_records(n, config),
+          "scratch store too small");
+  expects(config.message_quota > 0, "quota must be positive");
+
+  const layout l = plan(n);
+  const std::uint64_t q = config.message_quota;
+
+  external_shuffle_result result;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    if (attempt >= config.max_retries) {
+      throw std::runtime_error(
+          "melbourne shuffle: message quota exhausted repeatedly; "
+          "increase melbourne_config::message_quota");
+    }
+    result.pi = util::random_permutation(rng, n);
+
+    // Client-side metadata standing in for the headers a deployment
+    // would seal inside each record: which scratch slots hold real
+    // records and where they are destined.
+    std::vector<std::uint8_t> is_real(scratch.slot_count(), 0);
+    std::vector<std::uint64_t> destination(scratch.slot_count(), 0);
+
+    bool overflow = false;
+
+    // Phase 1 — distribute: one sequential stripe write per batch, each
+    // stripe holding a fixed-size message per bucket.
+    std::vector<std::uint8_t> batch_buffer(l.buckets * record_bytes);
+    std::vector<std::uint8_t> stripe(l.buckets * q * record_bytes);
+    std::vector<std::uint64_t> fill(l.buckets, 0);
+    for (std::uint64_t r = 0; r < l.batches && !overflow; ++r) {
+      const std::uint64_t first = r * l.buckets;
+      const std::uint64_t count = std::min(l.buckets, n - first);
+      result.io_time += input.read_range(first, count, batch_buffer);
+      result.stats.touch_ops += count;
+      result.stats.bytes_moved += count * record_bytes;
+
+      std::fill(stripe.begin(), stripe.end(), 0);
+      std::fill(fill.begin(), fill.end(), 0);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::uint64_t dest = result.pi[first + k];
+        const std::uint64_t bucket = dest / l.bucket_span;
+        if (fill[bucket] == q) {
+          overflow = true;
+          break;
+        }
+        const std::uint64_t message_slot = bucket * q + fill[bucket];
+        std::memcpy(stripe.data() + message_slot * record_bytes,
+                    batch_buffer.data() + k * record_bytes, record_bytes);
+        const std::uint64_t scratch_slot =
+            r * l.buckets * q + message_slot;
+        is_real[scratch_slot] = 1;
+        destination[scratch_slot] = dest;
+        ++fill[bucket];
+      }
+      if (!overflow) {
+        result.io_time +=
+            scratch.write_range(r * l.buckets * q, l.buckets * q, stripe);
+        result.stats.bytes_moved += l.buckets * q * record_bytes;
+      }
+    }
+    if (overflow) {
+      ++result.stats.retries;
+      result.io_time = 0;
+      continue;
+    }
+
+    // Phase 2 — clean: per bucket, gather its messages from every batch
+    // (message-granular reads), drop dummies, order by destination in
+    // client memory, emit the bucket's output range sequentially.
+    std::vector<std::uint8_t> message(q * record_bytes);
+    for (std::uint64_t b = 0; b < l.buckets; ++b) {
+      const std::uint64_t out_first = b * l.bucket_span;
+      if (out_first >= n) {
+        break;
+      }
+      const std::uint64_t out_count = std::min(l.bucket_span, n - out_first);
+      std::vector<std::uint8_t> bucket_out(out_count * record_bytes);
+      std::uint64_t gathered = 0;
+      for (std::uint64_t r = 0; r < l.batches; ++r) {
+        const std::uint64_t message_first = r * l.buckets * q + b * q;
+        result.io_time += scratch.read_range(message_first, q, message);
+        result.stats.bytes_moved += q * record_bytes;
+        for (std::uint64_t k = 0; k < q; ++k) {
+          const std::uint64_t slot = message_first + k;
+          if (is_real[slot] == 0) {
+            continue;
+          }
+          const std::uint64_t dest = destination[slot];
+          invariant(dest / l.bucket_span == b,
+                    "record landed in the wrong bucket");
+          std::memcpy(bucket_out.data() +
+                          (dest - out_first) * record_bytes,
+                      message.data() + k * record_bytes, record_bytes);
+          ++gathered;
+        }
+      }
+      invariant(gathered == out_count, "bucket lost records");
+      result.io_time += output.write_range(out_first, out_count, bucket_out);
+      result.stats.touch_ops += out_count;
+      result.stats.bytes_moved += out_count * record_bytes;
+    }
+    return result;
+  }
+}
+
+}  // namespace horam::shuffle

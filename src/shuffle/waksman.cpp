@@ -1,0 +1,150 @@
+#include "shuffle/waksman.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::shuffle {
+
+namespace {
+
+constexpr int kUnassigned = -1;
+
+// Recursively routes `pi` (a permutation on m wires, m a power of two)
+// into switches. Wire w of this subnetwork lives at array position
+// offset + stride * w of the whole network.
+void route(const permutation& pi, std::uint64_t offset, std::uint64_t stride,
+           std::vector<waksman_switch>& out) {
+  const std::uint64_t m = pi.size();
+  if (m <= 1) {
+    return;
+  }
+  const auto position = [&](std::uint64_t wire) {
+    return static_cast<std::uint32_t>(offset + stride * wire);
+  };
+  if (m == 2) {
+    out.push_back(waksman_switch{position(0), position(1), pi[0] == 1});
+    return;
+  }
+
+  const permutation inv = invert(pi);
+  const std::uint64_t half = m / 2;
+
+  // in_sub[x]  = subnetwork (0 = top, 1 = bottom) input x routes through.
+  // out_sub[o] = subnetwork output o is served from.
+  std::vector<int> in_sub(m, kUnassigned);
+  std::vector<int> out_sub(m, kUnassigned);
+
+  for (std::uint64_t start = 0; start < m; ++start) {
+    if (in_sub[start] != kUnassigned) {
+      continue;
+    }
+    // Free choice at the head of each cycle: route it through the top.
+    in_sub[start] = 0;
+    std::uint64_t x = start;
+    while (true) {
+      const std::uint64_t o = pi[x];
+      const int s = in_sub[x];
+      out_sub[o] = s;
+      // Partner output of the same out-switch must come from the other
+      // subnetwork, which forces its source input, which forces the
+      // partner input of that in-switch, closing the chain.
+      const std::uint64_t o_partner = o ^ 1;
+      out_sub[o_partner] = 1 - s;
+      const std::uint64_t y = inv[o_partner];
+      in_sub[y] = 1 - s;
+      const std::uint64_t y_partner = y ^ 1;
+      if (in_sub[y_partner] != kUnassigned) {
+        break;
+      }
+      in_sub[y_partner] = s;
+      x = y_partner;
+    }
+  }
+
+  // Input layer: in-switch p pairs inputs (2p, 2p+1); crossed iff input
+  // 2p routes to the bottom subnetwork.
+  for (std::uint64_t p = 0; p < half; ++p) {
+    out.push_back(waksman_switch{position(2 * p), position(2 * p + 1),
+                                 in_sub[2 * p] == 1});
+  }
+
+  // Subnetwork permutations: input x on subnet s enters at wire x/2 and
+  // must exit at wire pi[x]/2 of the same subnet.
+  permutation top(half);
+  permutation bottom(half);
+  for (std::uint64_t x = 0; x < m; ++x) {
+    if (in_sub[x] == 0) {
+      top[x / 2] = pi[x] / 2;
+    } else {
+      bottom[x / 2] = pi[x] / 2;
+    }
+  }
+  // Top subnet wires sit at even positions, bottom at odd ones.
+  route(top, offset, stride * 2, out);
+  route(bottom, offset + stride, stride * 2, out);
+
+  // Output layer: out-switch q pairs outputs (2q, 2q+1); crossed iff
+  // output 2q is served from the bottom subnetwork.
+  for (std::uint64_t q = 0; q < half; ++q) {
+    out.push_back(waksman_switch{position(2 * q), position(2 * q + 1),
+                                 out_sub[2 * q] == 1});
+  }
+}
+
+}  // namespace
+
+waksman_network build_waksman(const permutation& pi) {
+  expects(is_permutation(pi), "network requires a valid permutation");
+  waksman_network network;
+  network.size = pi.size();
+  if (pi.size() <= 1) {
+    network.padded_size = pi.size();
+    return network;
+  }
+  network.padded_size = util::next_pow2(pi.size());
+
+  // Extend with fixed points so padding lanes route straight through.
+  permutation padded(network.padded_size);
+  for (std::uint64_t i = 0; i < pi.size(); ++i) {
+    padded[i] = pi[i];
+  }
+  for (std::uint64_t i = pi.size(); i < network.padded_size; ++i) {
+    padded[i] = i;
+  }
+  route(padded, /*offset=*/0, /*stride=*/1, network.switches);
+  return network;
+}
+
+void apply_waksman(const waksman_network& network,
+                   std::span<std::uint8_t> records, std::size_t record_bytes,
+                   shuffle_stats* stats, const touch_observer& observer) {
+  expects(record_bytes > 0, "record size must be positive");
+  expects(records.size() == network.size * record_bytes,
+          "record buffer must match the network size");
+
+  std::vector<std::uint8_t> lane(network.padded_size * record_bytes, 0);
+  std::memcpy(lane.data(), records.data(), records.size());
+
+  std::vector<std::uint8_t> tmp(record_bytes);
+  for (const waksman_switch& sw : network.switches) {
+    if (observer) {
+      observer(sw.a, sw.b);
+    }
+    if (stats != nullptr) {
+      ++stats->touch_ops;
+      stats->bytes_moved += 2 * record_bytes;
+    }
+    if (sw.cross) {
+      std::uint8_t* const pa = lane.data() + sw.a * record_bytes;
+      std::uint8_t* const pb = lane.data() + sw.b * record_bytes;
+      std::memcpy(tmp.data(), pa, record_bytes);
+      std::memcpy(pa, pb, record_bytes);
+      std::memcpy(pb, tmp.data(), record_bytes);
+    }
+  }
+  std::memcpy(records.data(), lane.data(), records.size());
+}
+
+}  // namespace horam::shuffle

@@ -1,0 +1,48 @@
+// Benes/Waksman permutation network.
+//
+// Given a target permutation, the recursive construction produces a list
+// of 2x2 switches whose *positions* depend only on n — the realised
+// permutation hides entirely in the (secret) switch settings. Applying
+// the network therefore touches a data-independent sequence of index
+// pairs, like the bitonic network, but with O(n log n) switches instead
+// of O(n log^2 n) compare-exchanges — the permutation must be known up
+// front, which is why ORAM shuffles that draw fresh randomness per
+// element often prefer tag-sorting networks.
+#ifndef HORAM_SHUFFLE_WAKSMAN_H
+#define HORAM_SHUFFLE_WAKSMAN_H
+
+#include "shuffle/shuffle.h"
+
+namespace horam::shuffle {
+
+/// One 2x2 switch: touches positions a and b; exchanges them iff cross.
+struct waksman_switch {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  bool cross = false;
+};
+
+/// A routed network realising one specific permutation.
+struct waksman_network {
+  /// Domain size the caller asked for.
+  std::uint64_t size = 0;
+  /// Power-of-two size the network actually operates on (padding moves
+  /// identically under the extended permutation).
+  std::uint64_t padded_size = 0;
+  /// Switches in execution order.
+  std::vector<waksman_switch> switches;
+};
+
+/// Routes a network for `pi` (destination mapping). O(n log n) switches.
+[[nodiscard]] waksman_network build_waksman(const permutation& pi);
+
+/// Applies the network to `records` in place. Every switch touches its
+/// pair regardless of setting; `observer` sees the pair sequence.
+void apply_waksman(const waksman_network& network,
+                   std::span<std::uint8_t> records, std::size_t record_bytes,
+                   shuffle_stats* stats = nullptr,
+                   const touch_observer& observer = {});
+
+}  // namespace horam::shuffle
+
+#endif  // HORAM_SHUFFLE_WAKSMAN_H

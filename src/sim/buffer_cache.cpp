@@ -1,0 +1,103 @@
+#include "sim/buffer_cache.h"
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::sim {
+
+buffer_cache::buffer_cache(block_device& device, buffer_cache_config config)
+    : device_(device), config_(config) {
+  expects(config_.page_size > 0, "page size must be positive");
+  expects(config_.capacity_pages > 0, "cache needs at least one page");
+}
+
+sim_time buffer_cache::evict_one() {
+  invariant(!lru_.empty(), "evict called on empty cache");
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  const auto it = pages_.find(victim);
+  invariant(it != pages_.end(), "LRU list and page map out of sync");
+
+  sim_time cost = 0;
+  if (it->second.dirty) {
+    cost += device_.write(victim * config_.page_size, config_.page_size);
+    ++stats_.writebacks;
+  }
+  pages_.erase(it);
+  ++stats_.evictions;
+  return cost;
+}
+
+sim_time buffer_cache::touch(std::uint64_t page, bool mark_dirty,
+                             bool fill_from_device) {
+  sim_time cost = 0;
+  const auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    it->second.dirty = it->second.dirty || mark_dirty;
+    cost += config_.hit_time;
+    return cost;
+  }
+
+  ++stats_.misses;
+  while (pages_.size() >= config_.capacity_pages) {
+    cost += evict_one();
+  }
+  if (fill_from_device) {
+    cost += device_.read(page * config_.page_size, config_.page_size);
+  }
+  lru_.push_front(page);
+  pages_.emplace(page, page_state{lru_.begin(), mark_dirty});
+  return cost;
+}
+
+sim_time buffer_cache::read(std::uint64_t offset, std::uint64_t size) {
+  expects(size > 0, "zero-size read");
+  sim_time cost = 0;
+  const std::uint64_t first = offset / config_.page_size;
+  const std::uint64_t last = (offset + size - 1) / config_.page_size;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    cost += touch(page, /*mark_dirty=*/false, /*fill_from_device=*/true);
+  }
+  return cost;
+}
+
+sim_time buffer_cache::write(std::uint64_t offset, std::uint64_t size) {
+  expects(size > 0, "zero-size write");
+  sim_time cost = 0;
+  const std::uint64_t first = offset / config_.page_size;
+  const std::uint64_t last = (offset + size - 1) / config_.page_size;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    const bool partial_head =
+        page == first && offset % config_.page_size != 0;
+    const bool partial_tail =
+        page == last && (offset + size) % config_.page_size != 0;
+    // A partially overwritten page must be read before modification; a
+    // fully covered page can be allocated without a device fill.
+    const bool needs_fill = partial_head || partial_tail;
+    cost += touch(page, /*mark_dirty=*/true, needs_fill);
+  }
+  return cost;
+}
+
+sim_time buffer_cache::flush() {
+  sim_time cost = 0;
+  for (auto& [page, state] : pages_) {
+    if (state.dirty) {
+      cost += device_.write(page * config_.page_size, config_.page_size);
+      state.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return cost;
+}
+
+sim_time buffer_cache::invalidate() {
+  const sim_time cost = flush();
+  lru_.clear();
+  pages_.clear();
+  return cost;
+}
+
+}  // namespace horam::sim

@@ -1,0 +1,74 @@
+// LRU write-back buffer cache over a block device (an OS page-cache
+// model). A timing layer only: it tracks which pages would be resident
+// and charges either the hit cost or the underlying device cost.
+//
+// This substrate explains the thesis's measured numbers (its "HDD"
+// latencies are page-cache-assisted) and feeds the device-sensitivity
+// ablation; the headline reproductions use the pre-calibrated
+// `hdd_paper()` profile directly.
+#ifndef HORAM_SIM_BUFFER_CACHE_H
+#define HORAM_SIM_BUFFER_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/device.h"
+#include "sim/stats.h"
+
+namespace horam::sim {
+
+/// Configuration of the cache layer.
+struct buffer_cache_config {
+  std::uint64_t page_size = 4096;
+  std::uint64_t capacity_pages = 4096;
+  /// Cost of serving one page from the cache (memcpy + lookup).
+  sim_time hit_time = 1000;  // 1 us
+};
+
+/// Write-back LRU page cache in front of a block_device.
+class buffer_cache {
+ public:
+  buffer_cache(block_device& device, buffer_cache_config config);
+
+  /// Cost of reading `size` bytes at `offset` through the cache.
+  sim_time read(std::uint64_t offset, std::uint64_t size);
+
+  /// Cost of writing `size` bytes at `offset` through the cache
+  /// (write-back: dirty pages go to the device only on eviction/flush).
+  sim_time write(std::uint64_t offset, std::uint64_t size);
+
+  /// Writes every dirty page back to the device; returns the cost.
+  sim_time flush();
+
+  /// Drops all pages (flushing dirty ones first); returns the cost.
+  sim_time invalidate();
+
+  [[nodiscard]] const cache_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  [[nodiscard]] std::uint64_t resident_pages() const noexcept {
+    return lru_.size();
+  }
+
+ private:
+  struct page_state {
+    std::list<std::uint64_t>::iterator lru_position;
+    bool dirty = false;
+  };
+
+  /// Ensures `page` is resident; returns the cost of any fill/eviction.
+  sim_time touch(std::uint64_t page, bool mark_dirty, bool fill_from_device);
+  sim_time evict_one();
+
+  block_device& device_;
+  buffer_cache_config config_;
+  // Most-recently-used page at the front.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, page_state> pages_;
+  cache_stats stats_;
+};
+
+}  // namespace horam::sim
+
+#endif  // HORAM_SIM_BUFFER_CACHE_H

@@ -1,0 +1,61 @@
+// Control-layer CPU cost model: sealing/unsealing blocks and in-memory
+// shuffle work. Charged by the ORAM layers on the same virtual timeline
+// as the devices.
+#ifndef HORAM_SIM_CPU_MODEL_H
+#define HORAM_SIM_CPU_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+#include "util/contracts.h"
+
+namespace horam::sim {
+
+/// Timing parameters of the trusted controller's CPU.
+struct cpu_profile {
+  std::string name;
+  /// Bulk (de/en)cryption throughput.
+  double crypto_bytes_per_second = 0.0;
+  /// Fixed per-block bookkeeping (position-map lookup, stash ops).
+  sim_time per_block_time = 0;
+  /// Simple word operations per second (permutation bookkeeping).
+  double word_ops_per_second = 0.0;
+};
+
+/// Computes virtual-time costs for control-layer work.
+class cpu_model {
+ public:
+  explicit cpu_model(cpu_profile profile) : profile_(std::move(profile)) {
+    expects(profile_.crypto_bytes_per_second > 0.0,
+            "cpu needs positive crypto throughput");
+    expects(profile_.word_ops_per_second > 0.0,
+            "cpu needs positive op throughput");
+  }
+
+  /// Cost of sealing or opening `count` blocks of `bytes_each` bytes.
+  [[nodiscard]] sim_time crypto_time(std::uint64_t count,
+                                     std::uint64_t bytes_each) const {
+    const double bulk = static_cast<double>(count * bytes_each) * 1e9 /
+                        profile_.crypto_bytes_per_second;
+    return static_cast<sim_time>(bulk) +
+           static_cast<sim_time>(count) * profile_.per_block_time;
+  }
+
+  /// Cost of `ops` simple word operations (index shuffling, map updates).
+  [[nodiscard]] sim_time word_ops_time(std::uint64_t ops) const {
+    return static_cast<sim_time>(static_cast<double>(ops) * 1e9 /
+                                 profile_.word_ops_per_second);
+  }
+
+  [[nodiscard]] const cpu_profile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  cpu_profile profile_;
+};
+
+}  // namespace horam::sim
+
+#endif  // HORAM_SIM_CPU_MODEL_H

@@ -1,0 +1,61 @@
+#include "sim/device.h"
+
+#include "util/contracts.h"
+
+namespace horam::sim {
+
+block_device::block_device(device_profile profile)
+    : profile_(std::move(profile)) {
+  expects(profile_.read_bytes_per_second > 0.0,
+          "device needs positive read throughput");
+  expects(profile_.write_bytes_per_second > 0.0,
+          "device needs positive write throughput");
+  expects(profile_.seek_time >= 0 && profile_.per_op_time >= 0,
+          "device times must be non-negative");
+}
+
+sim_time block_device::transfer_time(std::uint64_t size,
+                                     double bytes_per_second) const {
+  return static_cast<sim_time>(static_cast<double>(size) * 1e9 /
+                               bytes_per_second);
+}
+
+sim_time block_device::read(std::uint64_t offset, std::uint64_t size) {
+  const bool sequential = head_valid_ && offset == head_position_;
+  sim_time cost = profile_.per_op_time +
+                  transfer_time(size, profile_.read_bytes_per_second);
+  if (!sequential) {
+    cost += profile_.seek_time;
+  }
+  head_position_ = offset + size;
+  head_valid_ = true;
+
+  ++stats_.read_ops;
+  if (sequential) {
+    ++stats_.sequential_read_ops;
+  }
+  stats_.bytes_read += size;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+sim_time block_device::write(std::uint64_t offset, std::uint64_t size) {
+  const bool sequential = head_valid_ && offset == head_position_;
+  sim_time cost = profile_.per_op_time +
+                  transfer_time(size, profile_.write_bytes_per_second);
+  if (!sequential) {
+    cost += profile_.seek_time;
+  }
+  head_position_ = offset + size;
+  head_valid_ = true;
+
+  ++stats_.write_ops;
+  if (sequential) {
+    ++stats_.sequential_write_ops;
+  }
+  stats_.bytes_written += size;
+  stats_.busy_time += cost;
+  return cost;
+}
+
+}  // namespace horam::sim

@@ -1,0 +1,68 @@
+// First-order block-device timing model.
+//
+// A block_device models positioning (seek) plus streaming transfer: an
+// operation that starts where the previous one ended streams at the
+// profile's sequential throughput; any other operation pays the seek
+// penalty first. This captures the HDD behaviour the paper's evaluation
+// rests on — random page reads are 10-20x slower than sequential scans —
+// and degenerates gracefully to SSD/DRAM-like devices by shrinking the
+// seek term.
+//
+// Devices account time but do not advance a global clock: callers decide
+// how device time composes (serial vs overlapped with memory work).
+#ifndef HORAM_SIM_DEVICE_H
+#define HORAM_SIM_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace horam::sim {
+
+/// Timing parameters of a device. Throughputs are bytes per second of
+/// streaming transfer; seek_time is the cost of any repositioning;
+/// per_op_time is fixed command overhead (controller, interface).
+struct device_profile {
+  std::string name;
+  sim_time seek_time = 0;
+  double read_bytes_per_second = 0.0;
+  double write_bytes_per_second = 0.0;
+  sim_time per_op_time = 0;
+};
+
+/// A byte-addressed device with seek-aware timing and operation counters.
+class block_device {
+ public:
+  explicit block_device(device_profile profile);
+
+  /// Cost of reading `size` bytes at `offset`; updates head position and
+  /// statistics. Returns the operation duration.
+  sim_time read(std::uint64_t offset, std::uint64_t size);
+
+  /// Cost of writing `size` bytes at `offset`; same accounting as read().
+  sim_time write(std::uint64_t offset, std::uint64_t size);
+
+  [[nodiscard]] const device_profile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const io_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Forgets the head position so the next access pays a seek
+  /// (models an intervening workload or power cycle).
+  void invalidate_head() noexcept { head_valid_ = false; }
+
+ private:
+  sim_time transfer_time(std::uint64_t size, double bytes_per_second) const;
+
+  device_profile profile_;
+  std::uint64_t head_position_ = 0;
+  bool head_valid_ = false;
+  io_stats stats_;
+};
+
+}  // namespace horam::sim
+
+#endif  // HORAM_SIM_DEVICE_H

@@ -1,0 +1,50 @@
+// Operation statistics collected by the simulated devices and caches.
+#ifndef HORAM_SIM_STATS_H
+#define HORAM_SIM_STATS_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace horam::sim {
+
+/// Counters accumulated by a block device. "Sequential" means the
+/// operation started where the previous one ended (no repositioning).
+struct io_stats {
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t sequential_read_ops = 0;
+  std::uint64_t sequential_write_ops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  sim_time busy_time = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const noexcept {
+    return read_ops + write_ops;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_read + bytes_written;
+  }
+
+  void reset() noexcept { *this = io_stats{}; }
+};
+
+/// Counters accumulated by the buffer cache.
+struct cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  void reset() noexcept { *this = cache_stats{}; }
+};
+
+}  // namespace horam::sim
+
+#endif  // HORAM_SIM_STATS_H

@@ -1,0 +1,44 @@
+// Simulated time base.
+//
+// The whole evaluation runs in virtual time: device models return the
+// duration an operation would take on the modelled hardware, and the
+// orchestrating layer (ORAM controller, benchmark harness) advances a
+// sim_clock — taking the max of overlapped resources, the sum of serial
+// ones. This reproduces the paper's real-machine measurements on any
+// host, deterministically.
+#ifndef HORAM_SIM_TIME_H
+#define HORAM_SIM_TIME_H
+
+#include <cstdint>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace horam::sim {
+
+/// Virtual time and durations, in nanoseconds.
+using sim_time = std::int64_t;
+
+/// A monotonically advancing virtual clock. One per simulation; passed by
+/// reference to components that need to timestamp events (no globals).
+class sim_clock {
+ public:
+  /// Current virtual time since simulation start.
+  [[nodiscard]] sim_time now() const noexcept { return now_; }
+
+  /// Advances the clock; duration must be non-negative.
+  void advance(sim_time duration) {
+    expects(duration >= 0, "clock cannot move backwards");
+    now_ += duration;
+  }
+
+  /// Resets to time zero (between benchmark phases).
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  sim_time now_ = 0;
+};
+
+}  // namespace horam::sim
+
+#endif  // HORAM_SIM_TIME_H

@@ -1,0 +1,76 @@
+#include "storage/block_store.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+
+namespace horam::storage {
+
+block_store::block_store(sim::block_device& device,
+                         std::uint64_t base_offset, std::uint64_t slot_count,
+                         std::size_t record_bytes,
+                         std::uint64_t logical_block_bytes)
+    : device_(device),
+      base_offset_(base_offset),
+      slot_count_(slot_count),
+      record_bytes_(record_bytes),
+      logical_block_bytes_(logical_block_bytes) {
+  expects(slot_count > 0, "store needs at least one slot");
+  expects(record_bytes > 0, "records must be non-empty");
+  expects(logical_block_bytes >= record_bytes,
+          "logical block must hold the record");
+  data_.resize(slot_count * record_bytes);
+}
+
+sim::sim_time block_store::read(std::uint64_t slot,
+                                std::span<std::uint8_t> out) {
+  expects(slot < slot_count_, "slot out of range");
+  expects(out.size() >= record_bytes_, "output buffer too small");
+  std::memcpy(out.data(), data_.data() + slot * record_bytes_,
+              record_bytes_);
+  return device_.read(device_offset(slot), logical_block_bytes_);
+}
+
+sim::sim_time block_store::write(std::uint64_t slot,
+                                 std::span<const std::uint8_t> in) {
+  expects(slot < slot_count_, "slot out of range");
+  expects(in.size() >= record_bytes_, "input buffer too small");
+  std::memcpy(data_.data() + slot * record_bytes_, in.data(), record_bytes_);
+  return device_.write(device_offset(slot), logical_block_bytes_);
+}
+
+sim::sim_time block_store::read_range(std::uint64_t first,
+                                      std::uint64_t count,
+                                      std::span<std::uint8_t> out) {
+  expects(first + count <= slot_count_, "range out of bounds");
+  expects(count > 0, "empty range read");
+  expects(out.size() >= count * record_bytes_, "output buffer too small");
+  std::memcpy(out.data(), data_.data() + first * record_bytes_,
+              count * record_bytes_);
+  return device_.read(device_offset(first), count * logical_block_bytes_);
+}
+
+sim::sim_time block_store::write_range(std::uint64_t first,
+                                       std::uint64_t count,
+                                       std::span<const std::uint8_t> in) {
+  expects(first + count <= slot_count_, "range out of bounds");
+  expects(count > 0, "empty range write");
+  expects(in.size() >= count * record_bytes_, "input buffer too small");
+  std::memcpy(data_.data() + first * record_bytes_, in.data(),
+              count * record_bytes_);
+  return device_.write(device_offset(first), count * logical_block_bytes_);
+}
+
+std::span<const std::uint8_t> block_store::peek(std::uint64_t slot) const {
+  expects(slot < slot_count_, "slot out of range");
+  return {data_.data() + slot * record_bytes_, record_bytes_};
+}
+
+void block_store::corrupt(std::uint64_t slot, std::size_t byte_offset,
+                          std::uint8_t mask) {
+  expects(slot < slot_count_, "slot out of range");
+  expects(byte_offset < record_bytes_, "byte offset out of range");
+  data_[slot * record_bytes_ + byte_offset] ^= mask;
+}
+
+}  // namespace horam::storage

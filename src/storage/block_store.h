@@ -1,0 +1,82 @@
+// Fixed-record block store over a simulated device.
+//
+// The store owns the record bytes (host memory) and charges virtual time
+// to its block_device for every access. Records are opaque byte strings
+// of a fixed size — the ORAM layers decide what goes inside (sealed
+// blocks). Two sizes are distinguished:
+//   * record_bytes        — bytes actually held per slot (host memory)
+//   * logical_block_bytes — bytes the modelled hardware moves per slot
+// They are equal in a deployment; benchmarks shrink record_bytes to keep
+// host memory small while timing full-size blocks.
+#ifndef HORAM_STORAGE_BLOCK_STORE_H
+#define HORAM_STORAGE_BLOCK_STORE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace horam::storage {
+
+/// A contiguous array of `slot_count` fixed-size records on a device.
+class block_store {
+ public:
+  /// Creates the store. `base_offset` positions it on the device (so
+  /// several stores can share one device, e.g. tree + flat regions).
+  block_store(sim::block_device& device, std::uint64_t base_offset,
+              std::uint64_t slot_count, std::size_t record_bytes,
+              std::uint64_t logical_block_bytes);
+
+  [[nodiscard]] std::uint64_t slot_count() const noexcept {
+    return slot_count_;
+  }
+  [[nodiscard]] std::size_t record_bytes() const noexcept {
+    return record_bytes_;
+  }
+  [[nodiscard]] std::uint64_t logical_block_bytes() const noexcept {
+    return logical_block_bytes_;
+  }
+  [[nodiscard]] sim::block_device& device() noexcept { return device_; }
+
+  /// Reads one record into `out` (record_bytes long); returns device cost.
+  sim::sim_time read(std::uint64_t slot, std::span<std::uint8_t> out);
+
+  /// Writes one record from `in`; returns device cost.
+  sim::sim_time write(std::uint64_t slot, std::span<const std::uint8_t> in);
+
+  /// Reads `count` consecutive records starting at `first` as one
+  /// streaming transfer into `out` (count * record_bytes long).
+  sim::sim_time read_range(std::uint64_t first, std::uint64_t count,
+                           std::span<std::uint8_t> out);
+
+  /// Writes `count` consecutive records as one streaming transfer.
+  sim::sim_time write_range(std::uint64_t first, std::uint64_t count,
+                            std::span<const std::uint8_t> in);
+
+  /// Direct read-only view of a stored record (no device time charged;
+  /// for tests and integrity checks only).
+  [[nodiscard]] std::span<const std::uint8_t> peek(std::uint64_t slot) const;
+
+  /// Fault injection: XORs `mask` into one stored byte, bypassing the
+  /// device (models an adversary or bit rot). Test use only.
+  void corrupt(std::uint64_t slot, std::size_t byte_offset,
+               std::uint8_t mask);
+
+ private:
+  [[nodiscard]] std::uint64_t device_offset(std::uint64_t slot) const
+      noexcept {
+    return base_offset_ + slot * logical_block_bytes_;
+  }
+
+  sim::block_device& device_;
+  std::uint64_t base_offset_;
+  std::uint64_t slot_count_;
+  std::size_t record_bytes_;
+  std::uint64_t logical_block_bytes_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace horam::storage
+
+#endif  // HORAM_STORAGE_BLOCK_STORE_H

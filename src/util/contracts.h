@@ -1,0 +1,42 @@
+// Contract checking helpers (C++ Core Guidelines I.5/I.7: state pre- and
+// postconditions). Violations throw, so tests can assert on them and
+// simulations fail loudly instead of corrupting state.
+#ifndef HORAM_UTIL_CONTRACTS_H
+#define HORAM_UTIL_CONTRACTS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace horam {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Precondition check: call at function entry.
+constexpr void expects(bool condition, const char* message) {
+  if (!condition) {
+    throw contract_error(std::string("precondition failed: ") + message);
+  }
+}
+
+/// Postcondition check: call before returning.
+constexpr void ensures(bool condition, const char* message) {
+  if (!condition) {
+    throw contract_error(std::string("postcondition failed: ") + message);
+  }
+}
+
+/// Internal invariant check: call wherever a broken invariant would
+/// otherwise propagate silently.
+constexpr void invariant(bool condition, const char* message) {
+  if (!condition) {
+    throw contract_error(std::string("invariant failed: ") + message);
+  }
+}
+
+}  // namespace horam
+
+#endif  // HORAM_UTIL_CONTRACTS_H

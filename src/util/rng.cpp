@@ -1,0 +1,15 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace horam::util {
+
+std::vector<std::uint64_t> random_permutation(random_source& rng,
+                                              std::uint64_t n) {
+  std::vector<std::uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  shuffle_span(rng, std::span<std::uint64_t>(perm));
+  return perm;
+}
+
+}  // namespace horam::util

@@ -1,0 +1,130 @@
+// Random number generation.
+//
+// Two kinds of generators exist in this codebase:
+//   * horam::util::pcg64        — fast deterministic PRNG for workloads,
+//                                 test data and simulation decisions.
+//   * horam::crypto::chacha_rng — CSPRNG for security-relevant choices
+//                                 (leaf remapping, permutations).
+// Both derive from random_source so ORAM code can accept either without
+// being templated on the engine.
+#ifndef HORAM_UTIL_RNG_H
+#define HORAM_UTIL_RNG_H
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace horam::util {
+
+namespace detail {
+// 128-bit arithmetic for PCG state and Lemire reduction. __extension__
+// silences -Wpedantic: __int128 is a GCC/Clang extension, which this
+// codebase targets.
+__extension__ using uint128 = unsigned __int128;
+}  // namespace detail
+
+/// Abstract stream of uniformly distributed 64-bit words.
+class random_source {
+ public:
+  virtual ~random_source() = default;
+
+  /// Returns the next uniformly distributed 64-bit value.
+  virtual std::uint64_t next_u64() = 0;
+
+  // Satisfies std::uniform_random_bit_generator so generators can be used
+  // with <algorithm> and <random> facilities directly.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+};
+
+/// PCG-XSL-RR 128/64: O'Neill's PCG64. Deterministic, 2^128 period,
+/// independent streams selected by the sequence constant.
+class pcg64 final : public random_source {
+ public:
+  /// Seeds the generator; distinct (seed, stream) pairs give independent
+  /// sequences.
+  explicit pcg64(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (static_cast<detail::uint128>(stream) << 1u) | 1u;
+    next_u64();
+    state_ += seed;
+    next_u64();
+  }
+
+  std::uint64_t next_u64() override {
+    const detail::uint128 old = state_;
+    state_ = old * multiplier() + inc_;
+    const std::uint64_t xored =
+        static_cast<std::uint64_t>(old >> 64) ^ static_cast<std::uint64_t>(old);
+    const unsigned rot = static_cast<unsigned>(old >> 122);
+    return (xored >> rot) | (xored << ((64 - rot) & 63));
+  }
+
+ private:
+  static constexpr detail::uint128 multiplier() {
+    return (static_cast<detail::uint128>(2549297995355413924ULL) << 64) |
+           4865540595714422341ULL;
+  }
+
+  detail::uint128 state_ = 0;
+  detail::uint128 inc_ = 0;
+};
+
+/// Uniform value in [0, bound) without modulo bias (Lemire's method);
+/// bound must be nonzero.
+inline std::uint64_t uniform_below(random_source& rng, std::uint64_t bound) {
+  expects(bound != 0, "uniform_below with zero bound");
+  detail::uint128 product =
+      static_cast<detail::uint128>(rng.next_u64()) * bound;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<detail::uint128>(rng.next_u64()) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+/// Uniform value in the closed interval [lo, hi].
+inline std::uint64_t uniform_in(random_source& rng, std::uint64_t lo,
+                                std::uint64_t hi) {
+  expects(lo <= hi, "uniform_in with empty range");
+  return lo + uniform_below(rng, hi - lo + 1);
+}
+
+/// Uniform double in [0, 1).
+inline double uniform_unit(random_source& rng) {
+  // 53 random mantissa bits.
+  return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli trial with success probability p in [0, 1].
+inline bool bernoulli(random_source& rng, double p) {
+  return uniform_unit(rng) < p;
+}
+
+/// In-place Fisher-Yates shuffle. Unbiased given an unbiased source.
+template <typename T>
+void shuffle_span(random_source& rng, std::span<T> values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_below(rng, i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Returns a uniformly random permutation of {0, ..., n-1}.
+std::vector<std::uint64_t> random_permutation(random_source& rng,
+                                              std::uint64_t n);
+
+}  // namespace horam::util
+
+#endif  // HORAM_UTIL_RNG_H

@@ -1,0 +1,44 @@
+// Strongly typed integer identifiers (C++ Core Guidelines I.4). Block
+// ids, leaf ids, partition ids and storage slots are all 64-bit integers;
+// wrapping them in distinct types prevents the classic "passed the leaf
+// where the slot was expected" bug family across the ORAM layers.
+#ifndef HORAM_UTIL_STRONG_ID_H
+#define HORAM_UTIL_STRONG_ID_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace horam::util {
+
+/// A 64-bit identifier distinguished at compile time by its Tag.
+template <typename Tag>
+class strong_id {
+ public:
+  constexpr strong_id() noexcept = default;
+  constexpr explicit strong_id(std::uint64_t value) noexcept
+      : value_(value) {}
+
+  /// The underlying integer; use at serialisation and arithmetic borders.
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept {
+    return value_;
+  }
+
+  friend constexpr auto operator<=>(strong_id, strong_id) noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace horam::util
+
+/// Hash support so strong ids can key unordered containers.
+template <typename Tag>
+struct std::hash<horam::util::strong_id<Tag>> {
+  std::size_t operator()(
+      const horam::util::strong_id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+
+#endif  // HORAM_UTIL_STRONG_ID_H

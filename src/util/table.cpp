@@ -1,0 +1,158 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace horam::util {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  expects(!header_.empty(), "table needs at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == header_.size(),
+          "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void text_table::add_separator() { rows_.emplace_back(); }
+
+void text_table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+  print_rule();
+}
+
+void text_table::print_csv(std::ostream& out) const {
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  print_cells(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) {
+      print_cells(row);
+    }
+  }
+}
+
+namespace {
+
+std::string trim_number(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  std::string text(buffer);
+  // Drop trailing zeros and a dangling decimal point for compact output.
+  if (text.find('.') != std::string::npos) {
+    while (text.back() == '0') {
+      text.pop_back();
+    }
+    if (text.back() == '.') {
+      text.pop_back();
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kib = 1024;
+  constexpr std::uint64_t mib = 1024 * kib;
+  constexpr std::uint64_t gib = 1024 * mib;
+  if (bytes >= gib) {
+    return trim_number(static_cast<double>(bytes) / static_cast<double>(gib),
+                       3) +
+           " GB";
+  }
+  if (bytes >= mib) {
+    return trim_number(static_cast<double>(bytes) / static_cast<double>(mib),
+                       2) +
+           " MB";
+  }
+  if (bytes >= kib) {
+    return trim_number(static_cast<double>(bytes) / static_cast<double>(kib),
+                       2) +
+           " KB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_time_ns(std::int64_t ns) {
+  const double abs_ns = static_cast<double>(ns < 0 ? -ns : ns);
+  if (abs_ns >= 1e9) {
+    return trim_number(static_cast<double>(ns) / 1e9, 2) + " s";
+  }
+  if (abs_ns >= 1e6) {
+    return trim_number(static_cast<double>(ns) / 1e6, 2) + " ms";
+  }
+  if (abs_ns >= 1e3) {
+    return trim_number(static_cast<double>(ns) / 1e3, 2) + " us";
+  }
+  return std::to_string(ns) + " ns";
+}
+
+std::string format_double(double value, int decimals) {
+  return trim_number(value, decimals);
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) {
+    lead = 3;
+  }
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) {
+      grouped.push_back(',');
+    }
+    grouped.push_back(digits[i]);
+  }
+  return grouped;
+}
+
+}  // namespace horam::util

@@ -1,0 +1,56 @@
+// Console table rendering for the benchmark harnesses. Each bench prints
+// the same rows the paper's tables report; this keeps the formatting in
+// one place.
+#ifndef HORAM_UTIL_TABLE_H
+#define HORAM_UTIL_TABLE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace horam::util {
+
+/// A simple left-aligned text table with a header row.
+///
+/// Usage:
+///   text_table t({"Metric", "H-ORAM", "Path ORAM"});
+///   t.add_row({"Total Time", "1290 ms", "25575 ms"});
+///   t.print(std::cout);
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Renders the table as comma-separated values (header + data rows).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with zero cells encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count with a binary-unit suffix ("64 MB", "1.875 GB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a nanosecond count with an adaptive unit ("77 us", "1290 ms").
+std::string format_time_ns(std::int64_t ns);
+
+/// Formats a double with the given number of decimal places.
+std::string format_double(double value, int decimals = 2);
+
+/// Formats an integer with thousands separators ("262,144").
+std::string format_count(std::uint64_t value);
+
+}  // namespace horam::util
+
+#endif  // HORAM_UTIL_TABLE_H

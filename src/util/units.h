@@ -1,0 +1,37 @@
+// Byte-size and time-unit constants shared by configuration code and the
+// simulator. Times are carried as signed 64-bit nanosecond counts
+// (horam::sim::sim_time); sizes as unsigned 64-bit byte counts.
+#ifndef HORAM_UTIL_UNITS_H
+#define HORAM_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace horam::util {
+
+inline constexpr std::uint64_t kib = 1024;
+inline constexpr std::uint64_t mib = 1024 * kib;
+inline constexpr std::uint64_t gib = 1024 * mib;
+
+inline constexpr std::int64_t nanoseconds = 1;
+inline constexpr std::int64_t microseconds = 1000 * nanoseconds;
+inline constexpr std::int64_t milliseconds = 1000 * microseconds;
+inline constexpr std::int64_t seconds = 1000 * milliseconds;
+
+/// Converts a nanosecond count to floating-point milliseconds (reporting).
+constexpr double ns_to_ms(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) / 1e6;
+}
+
+/// Converts a nanosecond count to floating-point microseconds (reporting).
+constexpr double ns_to_us(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) / 1e3;
+}
+
+/// Converts a nanosecond count to floating-point seconds (reporting).
+constexpr double ns_to_s(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) / 1e9;
+}
+
+}  // namespace horam::util
+
+#endif  // HORAM_UTIL_UNITS_H

@@ -1,0 +1,166 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace horam::workload {
+
+namespace {
+
+void validate(const stream_config& config) {
+  expects(config.request_count > 0, "empty request stream");
+  expects(config.block_count > 0, "empty address space");
+  expects(config.write_fraction >= 0.0 && config.write_fraction <= 1.0,
+          "write fraction must be a probability");
+}
+
+request make_request(util::random_source& rng, const stream_config& config,
+                     std::uint64_t id, std::uint64_t sequence) {
+  request req;
+  req.id = id;
+  if (util::bernoulli(rng, config.write_fraction)) {
+    req.op = oram::op_kind::write;
+    req.write_data = payload_for(id, sequence, config.payload_bytes);
+  }
+  return req;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> payload_for(std::uint64_t id,
+                                      std::uint64_t sequence,
+                                      std::size_t payload_bytes) {
+  // splitmix64 over (id, sequence) gives stable, collision-resistant
+  // contents that tests can regenerate.
+  std::vector<std::uint8_t> payload(payload_bytes);
+  std::uint64_t x = id * 0x9e3779b97f4a7c15ULL + sequence + 1;
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    if (i % 8 == 0) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      x = z ^ (z >> 31);
+    }
+    payload[i] = static_cast<std::uint8_t>(x >> (8 * (i % 8)));
+  }
+  return payload;
+}
+
+std::vector<request> hotspot(util::random_source& rng,
+                             const stream_config& config,
+                             double hot_probability,
+                             double hot_region_fraction) {
+  validate(config);
+  expects(hot_probability >= 0.0 && hot_probability <= 1.0,
+          "hot probability must be a probability");
+  expects(hot_region_fraction > 0.0 && hot_region_fraction <= 1.0,
+          "hot region must be a nonzero fraction of the space");
+
+  const std::uint64_t hot_blocks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(hot_region_fraction *
+                                    static_cast<double>(config.block_count)));
+  // Place the hot region at a random offset so it does not align with
+  // partition 0.
+  const std::uint64_t hot_base =
+      util::uniform_below(rng, config.block_count - hot_blocks + 1);
+
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  for (std::uint64_t s = 0; s < config.request_count; ++s) {
+    std::uint64_t id = 0;
+    if (util::bernoulli(rng, hot_probability)) {
+      id = hot_base + util::uniform_below(rng, hot_blocks);
+    } else {
+      id = util::uniform_below(rng, config.block_count);
+    }
+    stream.push_back(make_request(rng, config, id, s));
+  }
+  return stream;
+}
+
+std::vector<request> uniform(util::random_source& rng,
+                             const stream_config& config) {
+  validate(config);
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  for (std::uint64_t s = 0; s < config.request_count; ++s) {
+    stream.push_back(make_request(
+        rng, config, util::uniform_below(rng, config.block_count), s));
+  }
+  return stream;
+}
+
+std::vector<request> zipf(util::random_source& rng,
+                          const stream_config& config, double theta) {
+  validate(config);
+  expects(theta > 0.0 && theta < 1.0, "zipf skew must be in (0, 1)");
+
+  // Gray et al. approximation of the Zipf inverse CDF: draws rank r
+  // with P(r) proportional to 1 / r^theta without materialising the
+  // full distribution.
+  const double n = static_cast<double>(config.block_count);
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = [&] {
+    // Truncated harmonic estimate; exact for small n, integral
+    // approximation beyond the cutoff.
+    const std::uint64_t cutoff =
+        std::min<std::uint64_t>(config.block_count, 100000);
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= cutoff; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (config.block_count > cutoff) {
+      sum += (std::pow(n, 1.0 - theta) -
+              std::pow(static_cast<double>(cutoff), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }();
+  const double eta = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                     (1.0 - (1.0 / std::pow(2.0, theta) +
+                             0.5 / std::pow(2.0, theta) / zetan * theta));
+
+  // Random relabelling scatters the popular ids across the space.
+  std::vector<std::uint64_t> relabel =
+      util::random_permutation(rng, config.block_count);
+
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  for (std::uint64_t s = 0; s < config.request_count; ++s) {
+    const double u = util::uniform_unit(rng);
+    const double uz = u * zetan;
+    std::uint64_t rank = 0;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta)) {
+      rank = 1;
+    } else {
+      rank = static_cast<std::uint64_t>(
+          n * std::pow(eta * u - eta + 1.0, alpha));
+      rank = std::min(rank, config.block_count - 1);
+    }
+    stream.push_back(make_request(rng, config, relabel[rank], s));
+  }
+  return stream;
+}
+
+std::vector<request> sequential(const stream_config& config,
+                                std::uint64_t stride) {
+  validate(config);
+  expects(stride > 0, "stride must be positive");
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  std::uint64_t id = 0;
+  for (std::uint64_t s = 0; s < config.request_count; ++s) {
+    request req;
+    req.id = id;
+    stream.push_back(std::move(req));
+    id = (id + stride) % config.block_count;
+  }
+  return stream;
+}
+
+}  // namespace horam::workload

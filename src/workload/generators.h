@@ -1,0 +1,62 @@
+// Request-stream generators.
+//
+// The paper's evaluation (§5.2.1) uses a hotspot stream: "80% of chance
+// it will distribute in a certain area, and 20% of chance it requests a
+// random data". hotspot() parameterises both probabilities and the hot
+// region's size; the other generators feed ablations and tests.
+#ifndef HORAM_WORKLOAD_GENERATORS_H
+#define HORAM_WORKLOAD_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.h"
+#include "util/rng.h"
+
+namespace horam::workload {
+
+/// Common knobs shared by the generators.
+struct stream_config {
+  /// Requests to generate.
+  std::uint64_t request_count = 0;
+  /// Address space (blocks).
+  std::uint64_t block_count = 0;
+  /// Fraction of requests that are writes (the rest read).
+  double write_fraction = 0.0;
+  /// Bytes of payload attached to each write (deterministic contents
+  /// derived from the id and sequence number).
+  std::size_t payload_bytes = 0;
+};
+
+/// Hotspot stream (the paper's workload): with probability
+/// `hot_probability` the request falls uniformly inside a contiguous
+/// hot region of `hot_region_fraction * block_count` blocks; otherwise
+/// it is uniform over the whole space.
+std::vector<request> hotspot(util::random_source& rng,
+                             const stream_config& config,
+                             double hot_probability = 0.8,
+                             double hot_region_fraction = 0.1);
+
+/// Uniform stream over the whole address space.
+std::vector<request> uniform(util::random_source& rng,
+                             const stream_config& config);
+
+/// Zipf-distributed stream (skew parameter `theta` in (0, 1); higher is
+/// more skewed) over a randomly relabelled address space, so popular
+/// blocks are scattered rather than clustered.
+std::vector<request> zipf(util::random_source& rng,
+                          const stream_config& config, double theta = 0.99);
+
+/// Sequential scan with the given stride (wraps around).
+std::vector<request> sequential(const stream_config& config,
+                                std::uint64_t stride = 1);
+
+/// Deterministic payload for (id, sequence) — also used by tests to
+/// predict what a read should return.
+std::vector<std::uint8_t> payload_for(std::uint64_t id,
+                                      std::uint64_t sequence,
+                                      std::size_t payload_bytes);
+
+}  // namespace horam::workload
+
+#endif  // HORAM_WORKLOAD_GENERATORS_H

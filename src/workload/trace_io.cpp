@@ -1,0 +1,61 @@
+#include "workload/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "workload/generators.h"
+
+namespace horam::workload {
+
+void save_trace(std::ostream& out, const std::vector<request>& stream) {
+  for (const request& req : stream) {
+    out << (req.op == oram::op_kind::write ? 'W' : 'R') << ',' << req.id
+        << ',' << req.user << '\n';
+  }
+}
+
+std::vector<request> load_trace(std::istream& in,
+                                std::size_t payload_bytes) {
+  std::vector<request> stream;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string op_text;
+    std::string id_text;
+    std::string user_text;
+    if (!std::getline(fields, op_text, ',') ||
+        !std::getline(fields, id_text, ',')) {
+      throw std::runtime_error("trace line " + std::to_string(line_number) +
+                               ": expected 'op,id[,user]'");
+    }
+    std::getline(fields, user_text, ',');
+
+    request req;
+    if (op_text == "W") {
+      req.op = oram::op_kind::write;
+    } else if (op_text == "R") {
+      req.op = oram::op_kind::read;
+    } else {
+      throw std::runtime_error("trace line " + std::to_string(line_number) +
+                               ": op must be R or W");
+    }
+    req.id = std::stoull(id_text);
+    req.user = user_text.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(std::stoul(user_text));
+    if (req.op == oram::op_kind::write) {
+      req.write_data = payload_for(req.id, line_number, payload_bytes);
+    }
+    stream.push_back(std::move(req));
+    ++line_number;
+  }
+  return stream;
+}
+
+}  // namespace horam::workload

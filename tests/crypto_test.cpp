@@ -1,0 +1,234 @@
+// Unit tests for src/crypto: ChaCha20 against RFC 8439 vectors, SipHash
+// against the reference-implementation vectors, sealing round trips and
+// tamper detection, CSPRNG behaviour.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "crypto/chacha20.h"
+#include "crypto/seal.h"
+#include "crypto/siphash.h"
+
+namespace horam::crypto {
+namespace {
+
+chacha_key rfc_key() {
+  chacha_key key;
+  for (int i = 0; i < 32; ++i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  return key;
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 section 2.3.2: key 00..1f, nonce 00:00:00:09:00:00:00:4a:
+  // 00:00:00:00, counter 1.
+  const chacha_key key = rfc_key();
+  const chacha_nonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                              0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::array<std::uint8_t, 64> block;
+  chacha20_block(key, 1, nonce, block);
+
+  constexpr std::uint8_t expected[64] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(std::memcmp(block.data(), expected, 64), 0);
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 section 2.4.2.
+  const chacha_key key = rfc_key();
+  const chacha_nonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                              0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, nonce, 1, data);
+
+  constexpr std::uint8_t expected_head[16] = {
+      0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+      0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81};
+  ASSERT_GE(data.size(), 16u);
+  EXPECT_EQ(std::memcmp(data.data(), expected_head, 16), 0);
+
+  constexpr std::uint8_t expected_tail[8] = {0x8e, 0xed, 0xf2, 0x78,
+                                             0x5e, 0x42, 0x87, 0x4d};
+  EXPECT_EQ(std::memcmp(data.data() + data.size() - 8, expected_tail, 8),
+            0);
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  const chacha_key key = rfc_key();
+  const chacha_nonce nonce{};
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::vector<std::uint8_t> original = data;
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_NE(data, original);
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, DifferentCountersProduceDifferentBlocks) {
+  const chacha_key key = rfc_key();
+  const chacha_nonce nonce{};
+  std::array<std::uint8_t, 64> a, b;
+  chacha20_block(key, 0, nonce, a);
+  chacha20_block(key, 1, nonce, b);
+  EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
+}
+
+// SipHash-2-4 reference vectors (Aumasson & Bernstein reference code):
+// key = 000102...0f, message = first n bytes of 00 01 02 ...
+TEST(SipHash, ReferenceVectors) {
+  siphash_key key;
+  for (int i = 0; i < 16; ++i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> message;
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL};
+  for (std::size_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(siphash24(key, message), expected[n]) << "length " << n;
+    message.push_back(static_cast<std::uint8_t>(n));
+  }
+}
+
+TEST(SipHash, U64ConvenienceMatchesByteForm) {
+  siphash_key key{};
+  key[0] = 0xaa;
+  const std::uint64_t value = 0x0123456789abcdefULL;
+  std::array<std::uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  EXPECT_EQ(siphash24_u64(key, value), siphash24(key, bytes));
+}
+
+TEST(SipHash, KeyMatters) {
+  siphash_key a{}, b{};
+  b[15] = 1;
+  std::vector<std::uint8_t> message{1, 2, 3};
+  EXPECT_NE(siphash24(a, message), siphash24(b, message));
+}
+
+// ----------------------------------------------------------------- seal
+
+TEST(Seal, RoundTrip) {
+  block_sealer sealer(derive_seal_keys(1));
+  std::vector<std::uint8_t> plaintext(100);
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    plaintext[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  const auto sealed = sealer.seal(plaintext);
+  EXPECT_EQ(sealed.size(), plaintext.size() + seal_overhead);
+  EXPECT_EQ(sealer.open(sealed), plaintext);
+}
+
+TEST(Seal, SameplaintextSealsDiffer) {
+  // Fresh nonces make repeated seals of identical data unlinkable —
+  // the property H-ORAM's re-encrypting write-backs rely on.
+  block_sealer sealer(derive_seal_keys(2));
+  const std::vector<std::uint8_t> plaintext(64, 0x5a);
+  const auto first = sealer.seal(plaintext);
+  const auto second = sealer.seal(plaintext);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(sealer.open(first), plaintext);
+  EXPECT_EQ(sealer.open(second), plaintext);
+}
+
+TEST(Seal, TamperedCiphertextRejected) {
+  block_sealer sealer(derive_seal_keys(3));
+  const std::vector<std::uint8_t> plaintext(32, 1);
+  auto sealed = sealer.seal(plaintext);
+  sealed[14] ^= 0x01;  // flip one ciphertext bit
+  EXPECT_THROW(sealer.open(sealed), crypto_error);
+}
+
+TEST(Seal, TamperedMacRejected) {
+  block_sealer sealer(derive_seal_keys(4));
+  auto sealed = sealer.seal(std::vector<std::uint8_t>(32, 2));
+  sealed.back() ^= 0x80;  // flip one MAC bit
+  EXPECT_THROW(sealer.open(sealed), crypto_error);
+}
+
+TEST(Seal, TamperedNonceRejected) {
+  block_sealer sealer(derive_seal_keys(5));
+  auto sealed = sealer.seal(std::vector<std::uint8_t>(32, 3));
+  sealed[0] ^= 0x01;  // nonce is MACed too
+  EXPECT_THROW(sealer.open(sealed), crypto_error);
+}
+
+TEST(Seal, TruncatedBufferRejected) {
+  block_sealer sealer(derive_seal_keys(6));
+  EXPECT_THROW(sealer.open(std::vector<std::uint8_t>(seal_overhead - 1)),
+               crypto_error);
+}
+
+TEST(Seal, WrongKeyRejected) {
+  block_sealer alice(derive_seal_keys(7));
+  block_sealer mallory(derive_seal_keys(8));
+  const auto sealed = alice.seal(std::vector<std::uint8_t>(16, 9));
+  EXPECT_THROW(mallory.open(sealed), crypto_error);
+}
+
+TEST(Seal, EmptyishAndLargePayloads) {
+  block_sealer sealer(derive_seal_keys(9));
+  for (const std::size_t size : {1u, 63u, 64u, 65u, 4096u}) {
+    std::vector<std::uint8_t> plaintext(size, 0xcd);
+    EXPECT_EQ(sealer.open(sealer.seal(plaintext)), plaintext)
+        << "payload size " << size;
+  }
+}
+
+// --------------------------------------------------------------- csprng
+
+TEST(ChaChaRng, DeterministicPerSeed) {
+  chacha_rng a(std::uint64_t{11}), b(std::uint64_t{11});
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(ChaChaRng, StreamsIndependent) {
+  chacha_rng a(std::uint64_t{11}, 0), b(std::uint64_t{11}, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ChaChaRng, BitsLookBalanced) {
+  chacha_rng rng(std::uint64_t{12});
+  std::uint64_t ones = 0;
+  constexpr int words = 10000;
+  for (int i = 0; i < words; ++i) {
+    ones += static_cast<std::uint64_t>(__builtin_popcountll(rng.next_u64()));
+  }
+  const double fraction =
+      static_cast<double>(ones) / (64.0 * static_cast<double>(words));
+  EXPECT_NEAR(fraction, 0.5, 0.005);
+}
+
+TEST(DeriveSealKeys, DistinctSeedsDistinctKeys) {
+  const seal_keys a = derive_seal_keys(100);
+  const seal_keys b = derive_seal_keys(101);
+  EXPECT_NE(a.encryption_key, b.encryption_key);
+  EXPECT_NE(a.mac_key, b.mac_key);
+}
+
+}  // namespace
+}  // namespace horam::crypto

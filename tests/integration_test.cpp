@@ -1,0 +1,300 @@
+// Cross-module integration tests: H-ORAM against the baseline ORAMs on
+// identical virtual machines, cost-shape properties the paper's
+// argument depends on, file-backed trace round trips, and edge /
+// degenerate configurations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/controller.h"
+#include "oram/partition/partition_oram.h"
+#include "oram/sqrt/sqrt_oram.h"
+#include "sim/buffer_cache.h"
+#include "sim/profiles.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+namespace horam {
+namespace {
+
+using oram::block_id;
+using oram::op_kind;
+
+// ------------------------------------------------ cost-shape checks
+
+TEST(CostShapes, HoramHitsCostLessIoThanSqrtAccesses) {
+  // The core pitch: square-root ORAM pays one storage read per access,
+  // always; H-ORAM pays one storage read per *cycle* but services c
+  // requests with it.
+  sim::block_device horam_disk(sim::hdd_paper());
+  sim::block_device horam_memory(sim::dram_ddr4());
+  sim::block_device sqrt_disk(sim::hdd_paper());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng_a(81), rng_b(82);
+
+  horam_config config;
+  config.block_count = 1024;
+  config.memory_blocks = 128;
+  config.payload_bytes = 32;
+  config.seal = false;
+  controller horam_ctrl(config, horam_disk, horam_memory, cpu, rng_a);
+
+  oram::sqrt_oram_config sqrt_config;
+  sqrt_config.block_count = 1024;
+  sqrt_config.payload_bytes = 32;
+  sqrt_config.seal = false;
+  oram::sqrt_oram sqrt(sqrt_config, sqrt_disk, cpu, rng_b, nullptr);
+
+  // Same hot workload on both.
+  util::pcg64 wl(83);
+  workload::stream_config stream;
+  stream.request_count = 2000;
+  stream.block_count = 1024;
+  stream.payload_bytes = 32;
+  const auto requests = workload::hotspot(wl, stream, 0.8, 0.05);
+
+  horam_ctrl.run(requests);
+  for (const request& req : requests) {
+    sqrt.access(req.op, req.id, req.write_data, {});
+  }
+  // Storage reads: H-ORAM one per cycle; sqrt one per request.
+  EXPECT_LT(horam_ctrl.stats().cycles, 2000u);
+  EXPECT_GE(sqrt.stats().accesses, 2000u);
+}
+
+TEST(CostShapes, HoramAccessPeriodIoIsOneBlockPerCycle) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(84);
+  horam_config config;
+  config.block_count = 1024;
+  config.memory_blocks = 128;
+  config.payload_bytes = 32;
+  config.logical_block_bytes = 1024;
+  config.seal = false;
+  controller ctrl(config, disk, memory, cpu, rng);
+
+  // Fewer requests than a period: no shuffle, so all storage traffic
+  // is loads — exactly cycles * 1 KB read, nothing written.
+  std::vector<request> batch;
+  for (block_id id = 0; id < 40; ++id) {
+    batch.push_back(request{op_kind::read, id, 0, {}});
+  }
+  ctrl.run(batch);
+  EXPECT_EQ(ctrl.stats().periods, 0u);
+  EXPECT_EQ(disk.stats().bytes_read, ctrl.stats().cycles * 1024);
+  EXPECT_EQ(disk.stats().bytes_written, 0u);
+}
+
+TEST(CostShapes, ShuffleTrafficIsOverwhelminglySequential) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(85);
+  horam_config config;
+  config.block_count = 4096;
+  config.memory_blocks = 256;
+  config.payload_bytes = 32;
+  config.seal = false;
+  controller ctrl(config, disk, memory, cpu, rng);
+
+  util::pcg64 wl(86);
+  workload::stream_config stream;
+  stream.request_count = 2000;
+  stream.block_count = 4096;
+  stream.payload_bytes = 32;
+  ctrl.run(workload::uniform(wl, stream));
+  ASSERT_GT(ctrl.stats().periods, 0u);
+
+  // Writes only happen in shuffles, and partitions are streamed: the
+  // per-op payload must be large (whole partitions, not single blocks).
+  const auto& io = disk.stats();
+  ASSERT_GT(io.write_ops, 0u);
+  EXPECT_GT(io.bytes_written / io.write_ops,
+            10 * config.logical_block_bytes == 0
+                ? 10 * (config.payload_bytes + 8)
+                : 10 * (config.payload_bytes + 8));
+}
+
+TEST(CostShapes, PartitionOramShufflesMoreOftenButSmaller) {
+  // §2.1.4 vs §4.3: partition ORAM shuffles one partition every v
+  // accesses; H-ORAM batches a whole period then shuffles everything.
+  sim::block_device disk(sim::hdd_paper());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(87);
+  oram::partition_oram_config config;
+  config.block_count = 1024;
+  config.payload_bytes = 32;
+  config.seal = false;
+  oram::partition_oram oram(config, disk, cpu, rng, nullptr);
+  util::pcg64 driver(88);
+  for (int i = 0; i < 500; ++i) {
+    oram.access(op_kind::read, util::uniform_below(driver, 1024), {}, {});
+  }
+  EXPECT_GT(oram.stats().evictions, 10u);  // many small shuffles
+}
+
+// ------------------------------------------------- page-cache effect
+
+TEST(BufferCacheIntegration, CacheExplainsThesisLatencies) {
+  // A raw 7200 RPM disk costs ~8.5 ms per random read; behind a big
+  // LRU page cache, repeated touches cost microseconds — this is why
+  // the thesis's measured "HDD" latencies are far below seek time.
+  sim::block_device raw(sim::hdd_7200_raw());
+  sim::buffer_cache cache(raw, {.page_size = 4096,
+                                .capacity_pages = 1 << 14,
+                                .hit_time = 2000});
+  const sim::sim_time cold = cache.read(123456789, 1024);
+  const sim::sim_time warm = cache.read(123456789, 1024);
+  EXPECT_GT(cold, 8 * util::milliseconds);
+  EXPECT_LT(warm, 10 * util::microseconds);
+}
+
+// ------------------------------------------------- trace file round trip
+
+TEST(TraceFiles, SaveAndReplayFromDisk) {
+  util::pcg64 rng(89);
+  workload::stream_config stream;
+  stream.request_count = 200;
+  stream.block_count = 512;
+  stream.write_fraction = 0.3;
+  stream.payload_bytes = 16;
+  const auto original = workload::hotspot(rng, stream);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "horam_trace_test.csv";
+  {
+    std::ofstream out(path);
+    workload::save_trace(out, original);
+  }
+  std::ifstream in(path);
+  const auto loaded = workload::load_trace(in, 16);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded[i].id, original[i].id);
+    ASSERT_EQ(loaded[i].op, original[i].op);
+  }
+
+  // Replaying the loaded trace gives identical scheduling statistics.
+  const auto run_stats = [](const std::vector<request>& batch) {
+    sim::block_device disk(sim::hdd_paper());
+    sim::block_device memory(sim::dram_ddr4());
+    const sim::cpu_model cpu(sim::cpu_aesni());
+    util::pcg64 seed(90);
+    horam_config config;
+    config.block_count = 512;
+    config.memory_blocks = 64;
+    config.payload_bytes = 16;
+    config.seal = false;
+    controller ctrl(config, disk, memory, cpu, seed);
+    ctrl.run(batch);
+    return std::pair(ctrl.stats().cycles, ctrl.now());
+  };
+  EXPECT_EQ(run_stats(original).first, run_stats(loaded).first);
+}
+
+// -------------------------------------------------------- edge cases
+
+TEST(EdgeCases, SmallestViableHoram) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(91);
+  horam_config config;
+  config.block_count = 32;
+  config.memory_blocks = 8;  // period = 4 loads
+  config.payload_bytes = 8;
+  config.seal = true;
+  controller ctrl(config, disk, memory, cpu, rng);
+  for (block_id id = 0; id < 32; ++id) {
+    ctrl.write(id, std::vector<std::uint8_t>(8, static_cast<std::uint8_t>(
+                                                    id)));
+  }
+  for (block_id id = 0; id < 32; ++id) {
+    EXPECT_EQ(ctrl.read(id)[0], static_cast<std::uint8_t>(id));
+  }
+  EXPECT_GT(ctrl.stats().periods, 2u);
+}
+
+TEST(EdgeCases, MemoryAsLargeAsDatasetIsRejected) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(92);
+  horam_config config;
+  config.block_count = 64;
+  config.memory_blocks = 128;  // n/2 >= N: storage pointless
+  config.payload_bytes = 8;
+  EXPECT_THROW(controller(config, disk, memory, cpu, rng),
+               contract_error);
+}
+
+TEST(EdgeCases, RequestOutsideUniverseIsRejected) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(93);
+  horam_config config;
+  config.block_count = 64;
+  config.memory_blocks = 16;
+  config.payload_bytes = 8;
+  controller ctrl(config, disk, memory, cpu, rng);
+  EXPECT_THROW(ctrl.read(64), contract_error);
+}
+
+TEST(EdgeCases, OversizedWriteIsRejected) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(94);
+  horam_config config;
+  config.block_count = 64;
+  config.memory_blocks = 16;
+  config.payload_bytes = 8;
+  controller ctrl(config, disk, memory, cpu, rng);
+  EXPECT_THROW(ctrl.write(1, std::vector<std::uint8_t>(9, 0)),
+               contract_error);
+}
+
+TEST(EdgeCases, EmptyBatchIsANoOp) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(95);
+  horam_config config;
+  config.block_count = 64;
+  config.memory_blocks = 16;
+  config.payload_bytes = 8;
+  controller ctrl(config, disk, memory, cpu, rng);
+  std::vector<request> empty;
+  ctrl.run(empty);
+  EXPECT_EQ(ctrl.stats().cycles, 0u);
+  EXPECT_EQ(ctrl.now(), 0);
+}
+
+TEST(EdgeCases, RepeatedBatchesAccumulateTime) {
+  sim::block_device disk(sim::hdd_paper());
+  sim::block_device memory(sim::dram_ddr4());
+  const sim::cpu_model cpu(sim::cpu_aesni());
+  util::pcg64 rng(96);
+  horam_config config;
+  config.block_count = 128;
+  config.memory_blocks = 16;
+  config.payload_bytes = 8;
+  config.seal = false;
+  controller ctrl(config, disk, memory, cpu, rng);
+  std::vector<request> batch{request{op_kind::read, 5, 0, {}}};
+  ctrl.run(batch);
+  const sim::sim_time after_first = ctrl.now();
+  ctrl.run(batch);
+  EXPECT_GT(ctrl.now(), after_first);
+}
+
+}  // namespace
+}  // namespace horam

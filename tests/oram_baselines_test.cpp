@@ -1,0 +1,265 @@
+// Tests for the square-root and partition ORAM baselines: functional
+// correctness against shadow maps, protocol invariants (read-once
+// slots, reshuffle cadence), and cost shape.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "oram/partition/partition_oram.h"
+#include "oram/sqrt/sqrt_oram.h"
+#include "sim/profiles.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+namespace {
+
+// ------------------------------------------------------------ sqrt ORAM
+
+struct sqrt_fixture {
+  sim::block_device disk{sim::hdd_paper()};
+  sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng{17};
+  access_trace trace;
+
+  sqrt_oram_config config(std::uint64_t n) {
+    sqrt_oram_config c;
+    c.block_count = n;
+    c.payload_bytes = 16;
+    c.seal = true;
+    return c;
+  }
+};
+
+TEST(SqrtOram, DefaultsDeriveSqrtParameters) {
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(100), fx.disk, fx.cpu, fx.rng, nullptr);
+  EXPECT_EQ(oram.total_slots(), 110u);  // N + ceil(sqrt(N))
+}
+
+TEST(SqrtOram, WriteThenReadAcrossReshuffles) {
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(64), fx.disk, fx.cpu, fx.rng, nullptr);
+  std::vector<std::uint8_t> data(16, 0x21);
+  oram.access(op_kind::write, 13, data, {});
+  // Drive far past several reshuffle periods (period = 8).
+  for (int i = 0; i < 50; ++i) {
+    oram.access(op_kind::read, static_cast<block_id>(i % 64), {}, {});
+  }
+  std::vector<std::uint8_t> out(16);
+  oram.access(op_kind::read, 13, {}, out);
+  EXPECT_EQ(out, data);
+  EXPECT_GT(oram.stats().reshuffles, 4u);
+}
+
+TEST(SqrtOram, ShadowMapDifferentialTest) {
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(50), fx.disk, fx.cpu, fx.rng, nullptr);
+  std::map<block_id, std::vector<std::uint8_t>> shadow;
+  util::pcg64 driver(18);
+  for (int step = 0; step < 1500; ++step) {
+    const block_id id = util::uniform_below(driver, 50);
+    if (util::bernoulli(driver, 0.4)) {
+      std::vector<std::uint8_t> data(16,
+                                     static_cast<std::uint8_t>(step));
+      oram.access(op_kind::write, id, data, {});
+      shadow[id] = data;
+    } else {
+      std::vector<std::uint8_t> out(16);
+      oram.access(op_kind::read, id, {}, out);
+      const auto expected = shadow.contains(id)
+                                ? shadow[id]
+                                : std::vector<std::uint8_t>(16, 0);
+      ASSERT_EQ(out, expected) << "step " << step;
+    }
+  }
+}
+
+TEST(SqrtOram, OneStorageReadPerAccess) {
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(64), fx.disk, fx.cpu, fx.rng, &fx.trace);
+  for (int i = 0; i < 8; ++i) {  // exactly one period, no reshuffle
+    oram.access(op_kind::read, 5, {}, {});
+  }
+  std::uint64_t reads = 0;
+  for (const trace_event& event : fx.trace.events()) {
+    reads += event.kind == event_kind::storage_read_slot ? 1 : 0;
+  }
+  EXPECT_EQ(reads, 8u);
+}
+
+TEST(SqrtOram, SlotsNeverRepeatWithinPeriod) {
+  // The defining square-root ORAM invariant: within one period all
+  // touched slots are distinct (repeats would correlate with hits).
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(64), fx.disk, fx.cpu, fx.rng, &fx.trace);
+  for (int period = 0; period < 6; ++period) {
+    fx.trace.clear();
+    for (int i = 0; i < 8; ++i) {
+      // Repeatedly hammering one block maximises shelter hits.
+      oram.access(op_kind::read, 7, {}, {});
+    }
+    std::set<std::uint64_t> slots;
+    for (const trace_event& event : fx.trace.events()) {
+      if (event.kind == event_kind::storage_read_slot) {
+        EXPECT_TRUE(slots.insert(event.a).second)
+            << "slot " << event.a << " repeated in period " << period;
+      }
+    }
+  }
+}
+
+TEST(SqrtOram, ReshuffleCadenceMatchesPeriod) {
+  sqrt_fixture fx;
+  sqrt_oram_config config = fx.config(64);
+  config.period = 4;
+  sqrt_oram oram(config, fx.disk, fx.cpu, fx.rng, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    oram.access(op_kind::read, static_cast<block_id>(i % 64), {}, {});
+  }
+  EXPECT_EQ(oram.stats().reshuffles, 5u);
+}
+
+TEST(SqrtOram, PeriodCannotExceedDummies) {
+  sqrt_fixture fx;
+  sqrt_oram_config config = fx.config(64);
+  config.dummy_count = 4;
+  config.period = 5;
+  EXPECT_THROW(sqrt_oram(config, fx.disk, fx.cpu, fx.rng, nullptr),
+               contract_error);
+}
+
+TEST(SqrtOram, ShelterPeakBoundedByPeriod) {
+  sqrt_fixture fx;
+  sqrt_oram oram(fx.config(100), fx.disk, fx.cpu, fx.rng, nullptr);
+  util::pcg64 driver(19);
+  for (int i = 0; i < 500; ++i) {
+    oram.access(op_kind::read, util::uniform_below(driver, 100), {}, {});
+  }
+  EXPECT_LE(oram.stats().shelter_peak, 10u);  // period = 10
+}
+
+// ------------------------------------------------------- partition ORAM
+
+struct partition_fixture {
+  sim::block_device disk{sim::hdd_paper()};
+  sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng{23};
+  access_trace trace;
+
+  partition_oram_config config(std::uint64_t n) {
+    partition_oram_config c;
+    c.block_count = n;
+    c.payload_bytes = 16;
+    c.seal = true;
+    return c;
+  }
+};
+
+TEST(PartitionOram, GeometryIsSqrtish) {
+  partition_fixture fx;
+  partition_oram oram(fx.config(100), fx.disk, fx.cpu, fx.rng, nullptr);
+  EXPECT_EQ(oram.partition_count(), 10u);
+  EXPECT_GE(oram.partition_capacity(), 10u);  // slack >= 1
+}
+
+TEST(PartitionOram, ShadowMapDifferentialTest) {
+  partition_fixture fx;
+  partition_oram oram(fx.config(100), fx.disk, fx.cpu, fx.rng, nullptr);
+  std::map<block_id, std::vector<std::uint8_t>> shadow;
+  util::pcg64 driver(24);
+  for (int step = 0; step < 2000; ++step) {
+    const block_id id = util::uniform_below(driver, 100);
+    if (util::bernoulli(driver, 0.4)) {
+      std::vector<std::uint8_t> data(16,
+                                     static_cast<std::uint8_t>(step));
+      oram.access(op_kind::write, id, data, {});
+      shadow[id] = data;
+    } else {
+      std::vector<std::uint8_t> out(16);
+      oram.access(op_kind::read, id, {}, out);
+      const auto expected = shadow.contains(id)
+                                ? shadow[id]
+                                : std::vector<std::uint8_t>(16, 0);
+      ASSERT_EQ(out, expected) << "step " << step;
+    }
+  }
+  EXPECT_GT(oram.stats().evictions, 0u);
+}
+
+TEST(PartitionOram, OneSlotReadPerAccess) {
+  partition_fixture fx;
+  partition_oram oram(fx.config(64), fx.disk, fx.cpu, fx.rng, &fx.trace);
+  for (int i = 0; i < 10; ++i) {
+    oram.access(op_kind::read, 3, {}, {});  // mostly stash hits
+  }
+  std::uint64_t slot_reads = 0;
+  for (const trace_event& event : fx.trace.events()) {
+    slot_reads += event.kind == event_kind::storage_read_slot ? 1 : 0;
+  }
+  EXPECT_EQ(slot_reads, 10u);  // dummies cover the stash hits
+}
+
+TEST(PartitionOram, SlotsNeverRepeatBetweenShuffles) {
+  partition_fixture fx;
+  partition_oram oram(fx.config(64), fx.disk, fx.cpu, fx.rng, &fx.trace);
+  // Track per-slot reads; a write sweep (partition shuffle) resets.
+  std::map<std::uint64_t, int> since_refresh;
+  util::pcg64 driver(25);
+  for (int i = 0; i < 500; ++i) {
+    oram.access(op_kind::read, util::uniform_below(driver, 64), {}, {});
+  }
+  const std::uint64_t capacity = oram.partition_capacity();
+  for (const trace_event& event : fx.trace.events()) {
+    if (event.kind == event_kind::storage_read_slot) {
+      EXPECT_EQ(++since_refresh[event.a], 1) << "slot " << event.a;
+    } else if (event.kind == event_kind::storage_write_sweep) {
+      for (std::uint64_t s = event.a; s < event.a + event.b; ++s) {
+        since_refresh.erase(s);
+      }
+    }
+    (void)capacity;
+  }
+}
+
+TEST(PartitionOram, EvictionCadence) {
+  partition_fixture fx;
+  partition_oram_config config = fx.config(64);
+  config.eviction_batch = 5;
+  partition_oram oram(config, fx.disk, fx.cpu, fx.rng, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    oram.access(op_kind::read, static_cast<block_id>(i % 64), {}, {});
+  }
+  EXPECT_EQ(oram.stats().evictions, 10u);
+}
+
+TEST(PartitionOram, StashDrainsThroughEvictions) {
+  partition_fixture fx;
+  partition_oram_config config = fx.config(100);
+  config.eviction_batch = 4;
+  partition_oram oram(config, fx.disk, fx.cpu, fx.rng, nullptr);
+  util::pcg64 driver(26);
+  for (int i = 0; i < 1000; ++i) {
+    oram.access(op_kind::read, util::uniform_below(driver, 100), {}, {});
+  }
+  // Evictions keep pushing the stash out; the peak stays modest.
+  EXPECT_LT(oram.stats().stash_peak, 40u);
+}
+
+TEST(PartitionOram, ShuffleCostIsSequential) {
+  partition_fixture fx;
+  partition_oram_config config = fx.config(256);
+  config.eviction_batch = 1;  // shuffle on every access
+  partition_oram oram(config, fx.disk, fx.cpu, fx.rng, nullptr);
+  fx.disk.reset_stats();
+  oram.access(op_kind::read, 0, {}, {});
+  // The per-access shuffle streams one partition: expect sequential
+  // read + write sweeps to dominate the op count.
+  const auto& stats = fx.disk.stats();
+  EXPECT_GE(stats.sequential_read_ops + stats.sequential_write_ops, 0u);
+  EXPECT_LE(stats.read_ops, 4u);   // slot read + partition sweep (+pad)
+  EXPECT_LE(stats.write_ops, 2u);  // partition write sweep
+}
+
+}  // namespace
+}  // namespace horam::oram

@@ -1,0 +1,346 @@
+// Tests for the Path ORAM implementation: functional correctness
+// against a shadow map, stash behaviour, obliviousness of the bus
+// pattern, eviction and reset, bulk initialisation, and the memory/
+// storage level split of the tree-top-cache baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "analysis/pattern_audit.h"
+#include "oram/path/path_oram.h"
+#include "sim/profiles.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+namespace {
+
+struct fixture {
+  sim::block_device memory{sim::dram_ddr4()};
+  sim::block_device disk{sim::hdd_paper()};
+  sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng{99};
+  access_trace trace;
+
+  path_oram_config config(std::uint64_t leaves,
+                          std::uint32_t memory_levels =
+                              std::numeric_limits<std::uint32_t>::max()) {
+    path_oram_config c;
+    c.leaf_count = leaves;
+    c.bucket_size = 4;
+    c.payload_bytes = 16;
+    c.id_universe = 1024;
+    c.memory_levels = memory_levels;
+    c.seal = true;
+    return c;
+  }
+};
+
+std::vector<std::uint8_t> payload_of(std::uint8_t tag) {
+  return std::vector<std::uint8_t>(16, tag);
+}
+
+TEST(PathOram, Geometry) {
+  fixture fx;
+  path_oram oram(fx.config(64), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  EXPECT_EQ(oram.level_count(), 7u);           // log2(64) + 1
+  EXPECT_EQ(oram.bucket_count(), 127u);        // 2*64 - 1
+  EXPECT_EQ(oram.capacity_blocks(), 508u);     // Z = 4
+  EXPECT_EQ(oram.resident_blocks(), 0u);
+}
+
+TEST(PathOram, RejectsNonPowerOfTwoLeaves) {
+  fixture fx;
+  EXPECT_THROW(path_oram(fx.config(48), fx.memory, nullptr, fx.cpu,
+                         fx.rng, nullptr),
+               contract_error);
+}
+
+TEST(PathOram, WriteThenRead) {
+  fixture fx;
+  path_oram oram(fx.config(16), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  const auto data = payload_of(0x42);
+  oram.access(op_kind::write, 7, data, {});
+  std::vector<std::uint8_t> out(16);
+  oram.access(op_kind::read, 7, {}, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PathOram, UnwrittenBlocksReadAsZeros) {
+  fixture fx;
+  path_oram oram(fx.config(16), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  std::vector<std::uint8_t> out(16, 0xff);
+  oram.access(op_kind::read, 3, {}, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0));
+  EXPECT_TRUE(oram.contains(3));  // materialised by the touch
+}
+
+TEST(PathOram, ShadowMapDifferentialTest) {
+  // Random reads/writes against a std::map shadow; every read must
+  // return the latest write.
+  fixture fx;
+  path_oram oram(fx.config(64), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  std::map<block_id, std::vector<std::uint8_t>> shadow;
+  util::pcg64 driver(7);
+  for (int step = 0; step < 3000; ++step) {
+    const block_id id = util::uniform_below(driver, 200);
+    if (util::bernoulli(driver, 0.4)) {
+      auto data = payload_of(static_cast<std::uint8_t>(step));
+      data[1] = static_cast<std::uint8_t>(id);
+      oram.access(op_kind::write, id, data, {});
+      shadow[id] = data;
+    } else {
+      std::vector<std::uint8_t> out(16);
+      oram.access(op_kind::read, id, {}, out);
+      const auto it = shadow.find(id);
+      const std::vector<std::uint8_t> expected =
+          it != shadow.end() ? it->second : std::vector<std::uint8_t>(16, 0);
+      ASSERT_EQ(out, expected) << "step " << step << " id " << id;
+    }
+  }
+}
+
+TEST(PathOram, StashStaysBounded) {
+  // Standard Path ORAM property: with Z = 4 the stash stays small.
+  fixture fx;
+  path_oram oram(fx.config(128), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  util::pcg64 driver(8);
+  for (int step = 0; step < 5000; ++step) {
+    oram.access(op_kind::write, util::uniform_below(driver, 256),
+                payload_of(1), {});
+  }
+  EXPECT_LT(oram.stash_ref().peak_size(), 64u);
+}
+
+TEST(PathOram, RepeatedAccessNeverRepeatsLeaf) {
+  // Remap-before-read: consecutive accesses to the same block follow
+  // independently drawn paths.
+  fixture fx;
+  path_oram oram(fx.config(256), fx.memory, nullptr, fx.cpu, fx.rng,
+                 &fx.trace);
+  oram.access(op_kind::write, 1, payload_of(1), {});
+  fx.trace.clear();
+  std::vector<leaf_id> leaves;
+  for (int i = 0; i < 200; ++i) {
+    oram.access(op_kind::read, 1, {}, {});
+  }
+  for (const trace_event& event : fx.trace.events()) {
+    if (event.kind == event_kind::memory_path_access) {
+      leaves.push_back(event.a);
+    }
+  }
+  ASSERT_EQ(leaves.size(), 200u);
+  // With 256 leaves, 200 draws hitting a fixed leaf every time has
+  // probability ~(1/256)^199; count distinct values instead.
+  std::set<leaf_id> distinct(leaves.begin(), leaves.end());
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(PathOram, DummyAccessIndistinguishableShape) {
+  // Dummy and real accesses emit the same event shape: one path access
+  // plus level_count bucket reads and writes.
+  fixture fx;
+  path_oram oram(fx.config(16), fx.memory, nullptr, fx.cpu, fx.rng,
+                 &fx.trace);
+  oram.access(op_kind::write, 5, payload_of(5), {});
+  const auto shape_of = [&](auto&& action) {
+    fx.trace.clear();
+    action();
+    std::map<event_kind, int> shape;
+    for (const trace_event& event : fx.trace.events()) {
+      ++shape[event.kind];
+    }
+    return shape;
+  };
+  const auto real = shape_of([&] {
+    oram.access(op_kind::read, 5, {}, {});
+  });
+  const auto dummy = shape_of([&] { oram.dummy_access(); });
+  EXPECT_EQ(real, dummy);
+}
+
+TEST(PathOram, LeafDistributionUniform) {
+  fixture fx;
+  path_oram oram(fx.config(32), fx.memory, nullptr, fx.cpu, fx.rng,
+                 &fx.trace);
+  for (int i = 0; i < 4000; ++i) {
+    oram.dummy_access();
+  }
+  std::vector<std::uint64_t> counts(32, 0);
+  for (const trace_event& event : fx.trace.events()) {
+    if (event.kind == event_kind::memory_path_access) {
+      ++counts[event.a];
+    }
+  }
+  const double chi2 = analysis::chi_square_uniform(counts);
+  EXPECT_LT(chi2, analysis::chi_square_threshold(31));
+}
+
+TEST(PathOram, InstallThenAccess) {
+  fixture fx;
+  path_oram oram(fx.config(16), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  oram.install(9, payload_of(0x77));
+  EXPECT_TRUE(oram.contains(9));
+  EXPECT_EQ(oram.resident_blocks(), 1u);
+  std::vector<std::uint8_t> out(16);
+  oram.access(op_kind::read, 9, {}, out);
+  EXPECT_EQ(out, payload_of(0x77));
+  EXPECT_THROW(oram.install(9, payload_of(1)), contract_error);
+}
+
+TEST(PathOram, EvictAllReturnsEveryResidentBlock) {
+  fixture fx;
+  path_oram oram(fx.config(64), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  std::unordered_map<block_id, std::vector<std::uint8_t>> expected;
+  util::pcg64 driver(9);
+  for (int i = 0; i < 100; ++i) {
+    const block_id id = util::uniform_below(driver, 500);
+    auto data = payload_of(static_cast<std::uint8_t>(i));
+    oram.access(op_kind::write, id, data, {});
+    expected[id] = data;
+  }
+  // Park some blocks in the stash via install too.
+  oram.install(900, payload_of(0xaa));
+  expected[900] = payload_of(0xaa);
+
+  std::vector<evicted_block> evicted;
+  oram.evict_all(evicted);
+  EXPECT_EQ(evicted.size(), expected.size());
+  for (const evicted_block& block : evicted) {
+    ASSERT_TRUE(expected.contains(block.id)) << "id " << block.id;
+    EXPECT_EQ(block.payload, expected.at(block.id));
+  }
+  EXPECT_EQ(oram.resident_blocks(), 0u);
+  EXPECT_EQ(oram.stash_ref().size(), 0u);
+}
+
+TEST(PathOram, EvictionOrderIsShuffled) {
+  // Evicted blocks come out in random order, not insertion order.
+  fixture fx;
+  path_oram oram(fx.config(64), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  for (block_id id = 0; id < 64; ++id) {
+    oram.install(id, payload_of(static_cast<std::uint8_t>(id)));
+  }
+  std::vector<evicted_block> evicted;
+  oram.evict_all(evicted);
+  ASSERT_EQ(evicted.size(), 64u);
+  bool sorted = true;
+  for (std::size_t i = 1; i < evicted.size(); ++i) {
+    sorted = sorted && evicted[i - 1].id < evicted[i].id;
+  }
+  EXPECT_FALSE(sorted);  // probability 1/64! of a false failure
+}
+
+TEST(PathOram, ResetClearsState) {
+  fixture fx;
+  path_oram oram(fx.config(16), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  oram.access(op_kind::write, 2, payload_of(2), {});
+  oram.reset();
+  EXPECT_EQ(oram.resident_blocks(), 0u);
+  EXPECT_FALSE(oram.contains(2));
+  std::vector<std::uint8_t> out(16, 1);
+  oram.access(op_kind::read, 2, {}, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0));  // data gone
+}
+
+TEST(PathOram, InitializeFullPlacesEveryBlock) {
+  fixture fx;
+  path_oram oram(fx.config(64), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  oram.initialize_full(200, [](block_id id, std::span<std::uint8_t> out) {
+    out[0] = static_cast<std::uint8_t>(id);
+    out[1] = static_cast<std::uint8_t>(id >> 8);
+  });
+  EXPECT_EQ(oram.resident_blocks(), 200u);
+  util::pcg64 driver(10);
+  for (int i = 0; i < 100; ++i) {
+    const block_id id = util::uniform_below(driver, 200);
+    std::vector<std::uint8_t> out(16);
+    oram.access(op_kind::read, id, {}, out);
+    EXPECT_EQ(out[0], static_cast<std::uint8_t>(id));
+    EXPECT_EQ(out[1], static_cast<std::uint8_t>(id >> 8));
+  }
+}
+
+TEST(PathOram, TamperedTreeRecordDetected) {
+  // Integrity: flipping a bit of any record makes the next decode of
+  // that bucket throw.
+  fixture fx;
+  path_oram oram(fx.config(4), fx.memory, nullptr, fx.cpu, fx.rng,
+                 nullptr);
+  oram.access(op_kind::write, 1, payload_of(1), {});
+  // No public mutation API (by design); validate via the codec directly.
+  block_codec codec(16, true, 123);
+  std::vector<std::uint8_t> record(codec.record_bytes());
+  codec.encode(1, payload_of(1), record);
+  record[10] ^= 1;
+  std::vector<std::uint8_t> out(16);
+  EXPECT_THROW(codec.decode(record, out), crypto::crypto_error);
+}
+
+// ------------------------------------------------- tree-top-cache split
+
+TEST(PathOramSplit, LanesChargeTheRightDevices) {
+  fixture fx;
+  // 7 levels, top 3 in memory, bottom 4 on disk.
+  path_oram oram(fx.config(64, /*memory_levels=*/3), fx.memory, &fx.disk,
+                 fx.cpu, fx.rng, nullptr);
+  fx.memory.reset_stats();
+  fx.disk.reset_stats();
+  const cost_split cost = oram.access(op_kind::write, 1, payload_of(1), {});
+  EXPECT_GT(cost.memory, 0);
+  EXPECT_GT(cost.io, 0);
+  EXPECT_GT(cost.cpu, 0);
+  // 3 memory buckets + 4 disk buckets, read and written once each.
+  EXPECT_EQ(fx.memory.stats().read_ops, 3u);
+  EXPECT_EQ(fx.memory.stats().write_ops, 3u);
+  EXPECT_EQ(fx.disk.stats().read_ops, 4u);
+  EXPECT_EQ(fx.disk.stats().write_ops, 4u);
+}
+
+TEST(PathOramSplit, IoDominatesWithHdd) {
+  fixture fx;
+  path_oram oram(fx.config(64, 3), fx.memory, &fx.disk, fx.cpu, fx.rng,
+                 nullptr);
+  const cost_split cost = oram.access(op_kind::write, 1, payload_of(1), {});
+  EXPECT_GT(cost.io, 10 * cost.memory);
+}
+
+TEST(PathOramSplit, NeedsDiskWhenDeeperThanMemory) {
+  fixture fx;
+  EXPECT_THROW(path_oram(fx.config(64, 3), fx.memory, nullptr, fx.cpu,
+                         fx.rng, nullptr),
+               contract_error);
+}
+
+TEST(PathOramSplit, CorrectnessWithSplit) {
+  fixture fx;
+  path_oram oram(fx.config(32, 2), fx.memory, &fx.disk, fx.cpu, fx.rng,
+                 nullptr);
+  std::map<block_id, std::uint8_t> shadow;
+  util::pcg64 driver(11);
+  for (int step = 0; step < 1000; ++step) {
+    const block_id id = util::uniform_below(driver, 100);
+    if (util::bernoulli(driver, 0.5)) {
+      const auto tag = static_cast<std::uint8_t>(step);
+      oram.access(op_kind::write, id, payload_of(tag), {});
+      shadow[id] = tag;
+    } else if (shadow.contains(id)) {
+      std::vector<std::uint8_t> out(16);
+      oram.access(op_kind::read, id, {}, out);
+      ASSERT_EQ(out[0], shadow[id]) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace horam::oram
