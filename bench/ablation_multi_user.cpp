@@ -5,8 +5,6 @@
 #include <iostream>
 
 #include "common.h"
-#include "core/multi_user.h"
-#include "sim/profiles.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -26,19 +24,18 @@ int main() {
                           "Throughput (req/s)", "Mean latency",
                           "Max/min user latency"});
   for (const std::uint32_t users : {1u, 2u, 4u, 8u}) {
-    sim::block_device storage_device(hw.storage);
-    sim::block_device memory_device(hw.memory);
-    const sim::cpu_model cpu(hw.cpu);
-    util::pcg64 rng(77);
-
-    horam_config config;
-    config.block_count = data.block_count();
-    config.memory_blocks = data.memory_blocks();
-    config.payload_bytes = data.payload_bytes;
-    config.logical_block_bytes = data.block_bytes;
-    config.seal = false;
-    controller ctrl(config, storage_device, memory_device, cpu, rng);
-    multi_user_frontend frontend(ctrl);
+    client ctrl = client_builder()
+                      .blocks(data.block_count())
+                      .memory_blocks(data.memory_blocks())
+                      .payload_bytes(data.payload_bytes)
+                      .logical_block_bytes(data.block_bytes)
+                      .storage_profile(hw.storage)
+                      .memory_profile(hw.memory)
+                      .cpu(hw.cpu)
+                      .seal(false)
+                      .seed(77)
+                      .build();
+    multi_user_frontend frontend(ctrl.ctrl());
 
     util::pcg64 wl(78);
     workload::stream_config stream;

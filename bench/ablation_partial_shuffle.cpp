@@ -43,19 +43,21 @@ int main() {
     // Recover masking-read count: total loads in io_accesses are
     // cycles; masking reads show up as extra storage reads inside the
     // access periods. Re-derive from a dedicated run for clarity.
-    sim::block_device storage_device(hw.storage);
-    sim::block_device memory_device(hw.memory);
-    const sim::cpu_model cpu(hw.cpu);
-    util::pcg64 rng(recipe.seed ^ 0x605a);
-    horam_config config;
-    config.block_count = data.block_count();
-    config.memory_blocks = data.memory_blocks();
-    config.payload_bytes = data.payload_bytes;
-    config.logical_block_bytes = data.block_bytes;
-    config.seal = false;
-    config.shuffle_every_periods = cadence;
-    config.partition_slack = slack;
-    controller ctrl(config, storage_device, memory_device, cpu, rng);
+    client ctrl = client_builder()
+                      .blocks(data.block_count())
+                      .memory_blocks(data.memory_blocks())
+                      .payload_bytes(data.payload_bytes)
+                      .logical_block_bytes(data.block_bytes)
+                      .storage_profile(hw.storage)
+                      .memory_profile(hw.memory)
+                      .cpu(hw.cpu)
+                      .seal(false)
+                      .shuffle_every(cadence)
+                      .config_tweak([&](horam_config& config) {
+                        config.partition_slack = slack;
+                      })
+                      .seed(recipe.seed ^ 0x605a)
+                      .build();
     util::pcg64 wl(recipe.seed);
     workload::stream_config stream;
     stream.request_count = recipe.request_count;
@@ -63,7 +65,7 @@ int main() {
     stream.payload_bytes = data.payload_bytes;
     ctrl.run(workload::hotspot(wl, stream, recipe.hot_probability,
                                recipe.hot_region_fraction));
-    const std::uint64_t masking = ctrl.storage().stats().masking_reads;
+    const std::uint64_t masking = ctrl.backend().stats().masking_reads;
 
     table.add_row(
         {"1/" + std::to_string(cadence), util::format_count(run.io_accesses),

@@ -40,31 +40,34 @@ machine paper_machine() {
 
 system_run run_horam(
     const dataset& data, const workload_recipe& recipe, const machine& hw,
-    const std::function<void(horam_config&)>& config_tweak) {
+    const std::function<void(horam_config&)>& config_tweak,
+    backend_kind backend) {
   const auto start = std::chrono::steady_clock::now();
 
-  sim::block_device storage_device(hw.storage);
-  sim::block_device memory_device(hw.memory);
-  const sim::cpu_model cpu(hw.cpu);
-  util::pcg64 rng(recipe.seed ^ 0x605a);
-
-  horam_config config;
-  config.block_count = data.block_count();
-  config.memory_blocks = data.memory_blocks();
-  config.payload_bytes = data.payload_bytes;
-  config.logical_block_bytes = data.block_bytes;
-  config.seal = false;  // modelled crypto time; full runs stay fast
+  client_builder builder;
+  builder.blocks(data.block_count())
+      .memory_blocks(data.memory_blocks())
+      .payload_bytes(data.payload_bytes)
+      .logical_block_bytes(data.block_bytes)
+      .storage_profile(hw.storage)
+      .memory_profile(hw.memory)
+      .cpu(hw.cpu)
+      .backend(backend)
+      .seal(false)  // modelled crypto time; full runs stay fast
+      .seed(recipe.seed ^ 0x605a);
   if (config_tweak) {
-    config_tweak(config);
+    builder.config_tweak(config_tweak);
   }
 
-  controller ctrl(config, storage_device, memory_device, cpu, rng);
+  client ctrl = builder.build();
   const std::vector<request> stream = make_stream(data, recipe);
   ctrl.run(stream);
 
   const controller_stats& stats = ctrl.stats();
   system_run run;
-  run.name = "H-ORAM";
+  run.name = backend == backend_kind::partitioned
+                 ? "H-ORAM"
+                 : "H-ORAM/" + std::string(backend_name(backend));
   run.requests = stats.requests;
   run.io_accesses = stats.cycles;
   run.avg_io_latency_us = stats.average_io_latency_us();
@@ -76,7 +79,7 @@ system_run run_horam(
                  static_cast<double>(std::max<std::uint64_t>(
                      1, stats.requests));
   run.avg_c = stats.average_c();
-  run.storage_bytes = ctrl.storage().physical_bytes();
+  run.storage_bytes = ctrl.backend().physical_bytes();
   run.host_seconds = seconds_since(start);
   return run;
 }

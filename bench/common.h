@@ -8,10 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/controller.h"
-#include "sim/cpu_model.h"
-#include "sim/device.h"
-#include "workload/generators.h"
+#include "horam.h"
 
 namespace horam::bench {
 
@@ -74,11 +71,13 @@ struct dataset {
 };
 
 /// Runs H-ORAM on the recipe; `config_tweak` (optional) edits the
-/// derived horam_config before construction (policies, stages, ...).
+/// derived horam_config before construction (policies, stages, ...) and
+/// `backend` picks the oblivious store behind the controller.
 system_run run_horam(
     const dataset& data, const workload_recipe& recipe,
     const machine& hw,
-    const std::function<void(horam_config&)>& config_tweak = {});
+    const std::function<void(horam_config&)>& config_tweak = {},
+    backend_kind backend = backend_kind::partitioned);
 
 /// Runs the tree-top-cache Path ORAM baseline (Figure 3-1 a) on the
 /// same recipe: 2N-block tree, top levels in memory, the rest on disk.

@@ -81,29 +81,25 @@ int main() {
   data.data_bytes = util::gib;
   data.memory_bytes = 128 * util::mib;
 
-  sim::block_device storage_device(sim::hdd_paper());
-  sim::block_device memory_device(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(7);
-
-  horam_config config;
-  config.block_count = data.block_count();
-  config.memory_blocks = data.memory_blocks();
-  config.payload_bytes = data.payload_bytes;
-  config.logical_block_bytes = data.block_bytes;
-  config.seal = false;
-  controller ctrl(config, storage_device, memory_device, cpu, rng);
+  client ctrl = client_builder()
+                    .blocks(data.block_count())
+                    .memory_blocks(data.memory_blocks())
+                    .payload_bytes(data.payload_bytes)
+                    .logical_block_bytes(data.block_bytes)
+                    .seal(false)
+                    .seed(7)
+                    .build();
 
   // Drive exactly period_loads cycles with an all-miss uniform stream
   // (every request distinct), so one period completes.
   std::vector<request> stream;
-  stream.reserve(config.period_loads());
-  for (std::uint64_t i = 0; i < config.period_loads(); ++i) {
+  stream.reserve(ctrl.config().period_loads());
+  for (std::uint64_t i = 0; i < ctrl.config().period_loads(); ++i) {
     stream.push_back(request{oram::op_kind::read, i, 0, {}});
   }
   ctrl.run(stream);
 
-  const auto& io = storage_device.stats();
+  const auto& io = ctrl.storage_device().stats();
   util::text_table sim_table({"Measured quantity", "Value", "Analytic"});
   sim_table.add_row({"Period storage reads (loads)",
                      util::format_count(ctrl.stats().cycles),
@@ -118,7 +114,7 @@ int main() {
                      util::format_bytes(static_cast<std::uint64_t>(
                          period.shuffle_write_gb * 1024.0 * util::mib))});
   sim_table.add_row({"Physical storage footprint",
-                     util::format_bytes(ctrl.storage().physical_bytes()),
+                     util::format_bytes(ctrl.backend().physical_bytes()),
                      "1 GB (paper ignores partition slack)"});
   sim_table.print(std::cout);
   std::cout << "(Our shuffle moves the physical footprint including the "

@@ -9,11 +9,9 @@
 #include <iostream>
 
 #include "analysis/pattern_audit.h"
-#include "core/controller.h"
-#include "sim/profiles.h"
+#include "horam.h"
 #include "util/table.h"
 #include "util/units.h"
-#include "workload/generators.h"
 
 namespace {
 
@@ -40,27 +38,24 @@ const char* kind_name(horam::oram::event_kind kind) {
 int main() {
   using namespace horam;
 
-  sim::block_device storage(sim::hdd_paper());
-  sim::block_device memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(2019);
-  oram::access_trace trace;
-
-  horam_config config;
-  config.block_count = 4096;
-  config.memory_blocks = 512;
-  config.payload_bytes = 64;
-  config.logical_block_bytes = 1024;
-  config.seal = true;
-  controller ctrl(config, storage, memory, cpu, rng, &trace);
+  client oram = client_builder()
+                    .blocks(4096)
+                    .memory_blocks(512)
+                    .payload_bytes(64)
+                    .logical_block_bytes(1024)
+                    .seal(true)
+                    .seed(2019)
+                    .trace(true)
+                    .build();
 
   workload::stream_config stream;
   stream.request_count = 4000;
-  stream.block_count = config.block_count;
+  stream.block_count = oram.config().block_count;
   stream.write_fraction = 0.3;
-  stream.payload_bytes = config.payload_bytes;
+  stream.payload_bytes = oram.config().payload_bytes;
   util::pcg64 wl(4);
-  ctrl.run(workload::hotspot(wl, stream, 0.8, 0.05));
+  oram.run(workload::hotspot(wl, stream, 0.8, 0.05));
+  const oram::access_trace& trace = *oram.trace();
 
   // --- A window of what the bus shows. ---
   std::printf("first three cycles as the adversary sees them "
@@ -90,11 +85,12 @@ int main() {
 
   // --- The auditor's verdict over the whole run. ---
   analysis::audit_config audit;
-  audit.partition_count = ctrl.storage().geometry().partition_count;
-  audit.slots_per_partition =
-      ctrl.storage().geometry().slots_per_partition();
-  audit.main_capacity = ctrl.storage().geometry().main_capacity;
-  audit.leaf_count = ctrl.memory_tree().config().leaf_count;
+  const storage::partition_geometry& geometry =
+      oram.ctrl().storage().geometry();
+  audit.partition_count = geometry.partition_count;
+  audit.slots_per_partition = geometry.slots_per_partition();
+  audit.main_capacity = geometry.main_capacity;
+  audit.leaf_count = oram.ctrl().memory_tree().config().leaf_count;
   audit.expect_single_read_per_cycle = true;
   const analysis::audit_report report =
       analysis::audit_trace(trace, audit);

@@ -15,8 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/controller.h"
-#include "sim/profiles.h"
+#include "horam.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -27,7 +26,7 @@ using namespace horam;
 /// Striped-file layer over the block interface.
 class file_server {
  public:
-  explicit file_server(controller& oram) : oram_(oram) {}
+  explicit file_server(client& oram) : oram_(oram) {}
 
   void store_file(const std::string& name, const std::string& contents) {
     const std::size_t chunk = oram_.config().payload_bytes;
@@ -85,7 +84,7 @@ class file_server {
     std::size_t bytes = 0;
   };
 
-  controller& oram_;
+  client& oram_;
   std::map<std::string, extent> directory_;
   std::uint64_t next_block_ = 0;
 };
@@ -98,19 +97,15 @@ int main() {
   // Server-side spinning storage; client-side memory cache. With the
   // offloaded policy the server performs shuffles between request
   // bursts (off-line hours), exactly the Figure 5-2 deployment.
-  sim::block_device server_disk(sim::hdd_paper());
-  sim::block_device client_memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(99);
-
-  horam_config config;
-  config.block_count = 32 * util::mib / util::kib;
-  config.memory_blocks = 4 * util::mib / util::kib;
-  config.payload_bytes = 512;
-  config.logical_block_bytes = 1024;
-  config.seal = true;
-  config.shuffle = shuffle_policy::offloaded;
-  controller oram(config, server_disk, client_memory, cpu, rng);
+  client oram = client_builder()
+                    .blocks(32 * util::mib / util::kib)
+                    .memory_blocks(4 * util::mib / util::kib)
+                    .payload_bytes(512)
+                    .logical_block_bytes(1024)
+                    .seal(true)
+                    .shuffle(shuffle_policy::offloaded)
+                    .seed(99)
+                    .build();
   file_server server(oram);
 
   std::printf("oblivious file server: %s volume, %s client cache, "

@@ -15,9 +15,8 @@
 #include <iostream>
 #include <cstring>
 
-#include "core/controller.h"
+#include "horam.h"
 #include "oram/path/path_oram.h"
-#include "sim/profiles.h"
 #include "util/math.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -71,32 +70,27 @@ int main() {
   constexpr std::uint64_t key_count = 1 << 16;  // 64 Ki sorted keys
   constexpr std::uint64_t block_count = key_count / keys_per_block;
 
-  // --- H-ORAM instance. ---
-  sim::block_device horam_disk(sim::hdd_paper());
-  sim::block_device horam_memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(55);
-
-  horam_config config;
-  config.block_count = block_count;
-  config.memory_blocks = block_count / 8;
-  config.payload_bytes = keys_per_block * 8;
-  config.logical_block_bytes = 1024;
-  config.seal = true;
-  // The interactive-search deployment matches Fig 5-2's client/server
+  // --- H-ORAM instance, pre-filled with the sorted table. The
+  // interactive-search deployment matches Fig 5-2's client/server
   // setting: shuffles run between query bursts, off the critical path.
-  config.shuffle = shuffle_policy::offloaded;
-  controller horam_ctrl(config, horam_disk, horam_memory, cpu, rng);
-
-  // Populate the sorted table.
-  for (std::uint64_t b = 0; b < block_count; ++b) {
-    std::vector<std::uint8_t> payload(keys_per_block * 8);
+  const auto fill_sorted = [](oram::block_id b,
+                              std::span<std::uint8_t> payload) {
     for (std::uint64_t k = 0; k < keys_per_block; ++k) {
       const std::uint64_t key = key_at(b * keys_per_block + k);
       std::memcpy(payload.data() + k * 8, &key, 8);
     }
-    horam_ctrl.write(b, payload);
-  }
+  };
+  client horam_ctrl = client_builder()
+                          .blocks(block_count)
+                          .cache_ratio(0.125)
+                          .payload_bytes(keys_per_block * 8)
+                          .logical_block_bytes(1024)
+                          .seal(true)
+                          .shuffle(shuffle_policy::offloaded)
+                          .filler(fill_sorted)
+                          .seed(55)
+                          .build();
+  const sim::cpu_model cpu(sim::cpu_aesni());
 
   // --- Path ORAM baseline on its own devices. ---
   sim::block_device path_disk(sim::hdd_paper());
@@ -110,9 +104,8 @@ int main() {
   path_config.logical_block_bytes = 1024;
   path_config.id_universe = block_count;
   path_config.seal = true;
-  path_config.memory_levels = static_cast<std::uint32_t>(
-      util::floor_log2(config.memory_blocks / path_config.bucket_size +
-                       1));
+  path_config.memory_levels = static_cast<std::uint32_t>(util::floor_log2(
+      horam_ctrl.config().memory_blocks / path_config.bucket_size + 1));
   oram::path_oram path(path_config, path_memory, &path_disk, cpu,
                        path_rng, nullptr);
   path.initialize_full(

@@ -1,84 +1,133 @@
-// Quickstart: protect a small dataset with H-ORAM, read and write a few
-// blocks, run a full workload batch, and print what it cost.
+// Quickstart: protect a small dataset with H-ORAM through the public
+// facade, read and write a few blocks, then run the same workload
+// against two different oblivious-store backends — selected with one
+// builder call each — and compare what they cost.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the whole public API: device + CPU models, controller
-// construction, single-block read/write, batch processing, statistics.
+// Walks through the whole public API: client_builder, single-block
+// read/write, batch processing, the incremental submit/drain session,
+// statistics, and backend swapping.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "core/controller.h"
-#include "sim/profiles.h"
+#include "horam.h"
 #include "util/table.h"
 #include "util/units.h"
-#include "workload/generators.h"
 
 int main() {
   using namespace horam;
 
-  // --- 1. Model the machine: one storage device, one memory device. ---
-  sim::block_device storage(sim::hdd_paper());
-  sim::block_device memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(/*seed=*/42);
+  // --- 1. Build a client: 64 MB dataset, 8 MB memory, 1 KB blocks. ---
+  // The builder owns the whole simulated machine (devices, CPU, RNG).
+  client oram = client_builder()
+                    .blocks(64 * util::mib / util::kib)   // 65,536 blocks
+                    .memory_blocks(8 * util::mib / util::kib)
+                    .payload_bytes(64)          // carried bytes (demo-sized)
+                    .logical_block_bytes(1024)  // timed as 1 KB blocks
+                    .storage_profile("hdd")     // paper-calibrated disk
+                    .seal(true)                 // real ChaCha20 + SipHash
+                    .seed(42)
+                    .build();
+  std::printf("H-ORAM up: %llu blocks on storage, %llu-block memory tree, "
+              "'%s' backend\n",
+              static_cast<unsigned long long>(oram.config().block_count),
+              static_cast<unsigned long long>(oram.config().memory_blocks),
+              std::string(oram.backend().name()).c_str());
 
-  // --- 2. Configure H-ORAM: 64 MB dataset, 8 MB memory, 1 KB blocks. ---
-  horam_config config;
-  config.block_count = 64 * util::mib / util::kib;   // 65,536 blocks
-  config.memory_blocks = 8 * util::mib / util::kib;  // 8,192 blocks
-  config.payload_bytes = 64;       // carried bytes (demo-sized)
-  config.logical_block_bytes = 1024;  // timed as 1 KB blocks
-  config.seal = true;              // real ChaCha20 + SipHash sealing
-
-  controller horam(config, storage, memory, cpu, rng);
-  std::printf("H-ORAM up: %llu blocks on storage, %llu-block memory tree\n",
-              static_cast<unsigned long long>(config.block_count),
-              static_cast<unsigned long long>(config.memory_blocks));
-
-  // --- 3. Single-block API. ---
+  // --- 2. Single-block API. ---
   const std::string greeting = "hello, oblivious world";
-  horam.write(/*block=*/1234,
-              std::span<const std::uint8_t>(
-                  reinterpret_cast<const std::uint8_t*>(greeting.data()),
-                  greeting.size()));
-  const std::vector<std::uint8_t> back = horam.read(1234);
+  oram.write(/*block=*/1234,
+             std::span<const std::uint8_t>(
+                 reinterpret_cast<const std::uint8_t*>(greeting.data()),
+                 greeting.size()));
+  const std::vector<std::uint8_t> back = oram.read(1234);
   std::printf("block 1234 reads back: \"%.*s\"\n",
               static_cast<int>(greeting.size()),
               reinterpret_cast<const char*>(back.data()));
 
-  // --- 4. Batch API: the paper's hotspot workload. ---
-  workload::stream_config stream;
-  stream.request_count = 20000;
-  stream.block_count = config.block_count;
-  stream.write_fraction = 0.2;
-  stream.payload_bytes = config.payload_bytes;
-  const std::vector<request> batch =
-      workload::hotspot(rng, stream, /*hot_probability=*/0.8,
-                        /*hot_region_fraction=*/0.02);
-  horam.run(batch);
+  // --- 3. Session API: stream requests in, drain when convenient. ---
+  for (oram::block_id id = 100; id < 110; ++id) {
+    oram.submit(request{oram::op_kind::read, id, 0, {}});
+  }
+  std::vector<request_result> session_results;
+  oram.drain(&session_results);
+  std::printf("session drain serviced %zu streamed requests\n",
+              session_results.size());
 
-  // --- 5. What did it cost? ---
-  const controller_stats& stats = horam.stats();
-  util::text_table table({"Metric", "Value"});
-  table.add_row({"Requests serviced", util::format_count(stats.requests)});
-  table.add_row({"Hit rate",
-                 util::format_double(100.0 * static_cast<double>(stats.hits) /
-                                         static_cast<double>(stats.requests),
-                                     1) +
-                     " %"});
-  table.add_row({"Storage loads (I/O accesses)",
-                 util::format_count(stats.cycles)});
-  table.add_row({"Average I/O latency",
-                 util::format_double(stats.average_io_latency_us(), 1) +
-                     " us"});
-  table.add_row({"Average group size (c-hat)",
-                 util::format_double(stats.average_c(), 2)});
-  table.add_row({"Shuffle periods", util::format_count(stats.periods)});
-  table.add_row({"Access time", util::format_time_ns(stats.access_time)});
-  table.add_row({"Shuffle time", util::format_time_ns(stats.shuffle_time)});
-  table.add_row({"Total time", util::format_time_ns(stats.total_time)});
+  // --- 4. Backend comparison: the paper's hotspot workload through the
+  // partitioned H-ORAM store and the sqrt-ORAM store. Everything other
+  // than the backend() call is identical. ---
+  const auto measure = [](backend_kind kind) {
+    client c = client_builder()
+                   .blocks(16384)
+                   .cache_ratio(0.125)
+                   .payload_bytes(64)
+                   .logical_block_bytes(1024)
+                   .backend(kind)
+                   .seal(true)
+                   .seed(2019)
+                   .build();
+    workload::stream_config stream;
+    stream.request_count = 20000;
+    stream.block_count = c.config().block_count;
+    stream.write_fraction = 0.2;
+    stream.payload_bytes = c.config().payload_bytes;
+    util::pcg64 gen(7);
+    const std::vector<request> batch =
+        workload::hotspot(gen, stream, /*hot_probability=*/0.8,
+                          /*hot_region_fraction=*/0.02);
+    c.run(batch);
+    return c;
+  };
+
+  client partitioned = measure(backend_kind::partitioned);
+  client sqrt_store = measure(backend_kind::sqrt);
+
+  const auto row_for = [](const client& c, const std::string& metric) {
+    const controller_stats& stats = c.stats();
+    if (metric == "hit") {
+      return util::format_double(
+                 100.0 * static_cast<double>(stats.hits) /
+                     static_cast<double>(stats.requests),
+                 1) +
+             " %";
+    }
+    if (metric == "loads") {
+      return util::format_count(stats.cycles);
+    }
+    if (metric == "latency") {
+      return util::format_double(stats.average_io_latency_us(), 1) + " us";
+    }
+    if (metric == "shuffle") {
+      return util::format_time_ns(stats.shuffle_time);
+    }
+    if (metric == "storage") {
+      return util::format_bytes(c.backend().physical_bytes());
+    }
+    return util::format_time_ns(stats.total_time);
+  };
+
+  std::printf("\nsame workload, two oblivious stores "
+              "(one .backend(...) call apart):\n");
+  util::text_table table({"Metric", "partitioned (H-ORAM)", "sqrt ORAM"});
+  for (const auto& [metric, label] :
+       {std::pair<const char*, const char*>{"loads", "I/O accesses"},
+        {"hit", "Hit rate"},
+        {"latency", "Average I/O latency"},
+        {"shuffle", "Shuffle time"},
+        {"storage", "Physical storage"},
+        {"total", "Total virtual time"}}) {
+    table.add_row({label, row_for(partitioned, metric),
+                   row_for(sqrt_store, metric)});
+  }
   table.print(std::cout);
+
+  const double speedup =
+      static_cast<double>(sqrt_store.stats().total_time) /
+      static_cast<double>(partitioned.stats().total_time);
+  std::printf("partitioned backend speedup over sqrt reshuffling: %sx\n",
+              util::format_double(speedup, 1).c_str());
   return 0;
 }

@@ -13,30 +13,10 @@
 #include <iostream>
 #include <sstream>
 
-#include "core/controller.h"
-#include "sim/profiles.h"
+#include "horam.h"
 #include "util/table.h"
 #include "util/units.h"
-#include "workload/generators.h"
 #include "workload/trace_io.h"
-
-namespace {
-
-horam::sim::device_profile profile_by_name(const std::string& name) {
-  using namespace horam::sim;
-  if (name == "hdd-raw") {
-    return hdd_7200_raw();
-  }
-  if (name == "ssd") {
-    return ssd_sata();
-  }
-  if (name == "nvme") {
-    return nvme();
-  }
-  return hdd_paper();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace horam;
@@ -78,18 +58,24 @@ int main(int argc, char** argv) {
   }
 
   const std::string device_name = argc >= 3 ? argv[2] : "hdd";
-  sim::block_device storage(profile_by_name(device_name));
-  sim::block_device memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(7);
-
-  horam_config config;
-  config.block_count = block_count;
-  config.memory_blocks = block_count / 8;
-  config.payload_bytes = payload_bytes;
-  config.logical_block_bytes = 1024;
-  config.seal = false;
-  controller ctrl(config, storage, memory, cpu, rng);
+  sim::device_profile device;
+  try {
+    device = storage_profile_by_name(device_name);
+  } catch (const contract_error&) {
+    std::fprintf(stderr,
+                 "unknown device '%s' (hdd | hdd-raw | ssd | nvme)\n",
+                 device_name.c_str());
+    return 1;
+  }
+  client ctrl = client_builder()
+                    .blocks(block_count)
+                    .cache_ratio(0.125)
+                    .payload_bytes(payload_bytes)
+                    .logical_block_bytes(1024)
+                    .storage_profile(device)
+                    .seal(false)
+                    .seed(7)
+                    .build();
 
   std::vector<request_result> results;
   ctrl.run(trace, &results);
@@ -109,7 +95,8 @@ int main(int argc, char** argv) {
 
   const controller_stats& stats = ctrl.stats();
   std::printf("replayed %zu requests from %s on %s\n\n", trace.size(),
-              source.c_str(), storage.profile().name.c_str());
+              source.c_str(),
+              ctrl.storage_device().profile().name.c_str());
   util::text_table table({"Metric", "Value"});
   table.add_row({"Storage loads (I/O accesses)",
                  util::format_count(stats.cycles)});

@@ -9,8 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/rob_table.h"
-#include "core/scheduler.h"
+#include "horam.h"
 #include "util/table.h"
 
 int main() {

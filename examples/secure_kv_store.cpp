@@ -13,9 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/controller.h"
 #include "crypto/siphash.h"
-#include "sim/profiles.h"
+#include "horam.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -27,7 +26,7 @@ using namespace horam;
 /// [value bytes]; keys and values must fit one block together.
 class kv_store {
  public:
-  explicit kv_store(controller& oram) : oram_(oram) {}
+  explicit kv_store(client& oram) : oram_(oram) {}
 
   void put(const std::string& key, const std::string& value) {
     const std::size_t capacity = oram_.config().payload_bytes;
@@ -97,7 +96,7 @@ class kv_store {
            std::memcmp(block.data() + 3, key.data(), key.size()) == 0;
   }
 
-  controller& oram_;
+  client& oram_;
 };
 
 }  // namespace
@@ -105,22 +104,18 @@ class kv_store {
 int main() {
   using namespace horam;
 
-  sim::block_device storage(sim::hdd_paper());
-  sim::block_device memory(sim::dram_ddr4());
-  const sim::cpu_model cpu(sim::cpu_aesni());
-  util::pcg64 rng(7);
-
-  horam_config config;
-  config.block_count = 16 * util::mib / util::kib;  // 16 MB of slots
-  config.memory_blocks = 2 * util::mib / util::kib;
-  config.payload_bytes = 256;
-  config.logical_block_bytes = 1024;
-  config.seal = true;
-  controller oram(config, storage, memory, cpu, rng);
+  client oram = client_builder()
+                    .blocks(16 * util::mib / util::kib)  // 16 MB of slots
+                    .memory_blocks(2 * util::mib / util::kib)
+                    .payload_bytes(256)
+                    .logical_block_bytes(1024)
+                    .seal(true)
+                    .seed(7)
+                    .build();
   kv_store store(oram);
 
   std::printf("oblivious KV store over H-ORAM (%llu slots)\n",
-              static_cast<unsigned long long>(config.block_count));
+              static_cast<unsigned long long>(oram.config().block_count));
 
   store.put("paper", "H-ORAM: A Cacheable ORAM Interface");
   store.put("venue", "DAC 2019");

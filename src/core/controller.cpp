@@ -22,12 +22,11 @@ std::uint64_t tree_leaf_count(std::uint64_t memory_blocks,
 
 }  // namespace
 
-controller::controller(
-    const horam_config& config, sim::block_device& storage_device,
-    sim::block_device& memory_device, const sim::cpu_model& cpu,
-    util::random_source& rng, oram::access_trace* trace,
-    const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
-        filler)
+controller::controller(const horam_config& config,
+                       std::unique_ptr<oram_backend> backend,
+                       sim::block_device& memory_device,
+                       const sim::cpu_model& cpu, util::random_source& rng,
+                       oram::access_trace* trace)
     : config_(config),
       cpu_(cpu),
       rng_(rng),
@@ -35,6 +34,7 @@ controller::controller(
       scheduler_(config.stages, config.period_loads(),
                  config.prefetch_factor) {
   config_.validate();
+  expects(backend != nullptr, "controller needs an oram_backend");
 
   oram::path_oram_config tree_config;
   tree_config.leaf_count =
@@ -50,8 +50,26 @@ controller::controller(
                                             rng_, trace_);
   memory_device.reset_stats();
 
-  storage_ = std::make_unique<storage_layer>(config_, storage_device, cpu_,
-                                             rng_, trace_, filler);
+  storage_ = std::move(backend);
+}
+
+controller::controller(
+    const horam_config& config, sim::block_device& storage_device,
+    sim::block_device& memory_device, const sim::cpu_model& cpu,
+    util::random_source& rng, oram::access_trace* trace,
+    const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
+        filler)
+    : controller(config,
+                 std::make_unique<storage_layer>(config, storage_device,
+                                                 cpu, rng, trace, filler),
+                 memory_device, cpu, rng, trace) {}
+
+const storage_layer& controller::storage() const {
+  const auto* partitioned = dynamic_cast<const storage_layer*>(
+      storage_.get());
+  expects(partitioned != nullptr,
+          "storage() requires the partitioned backend; use backend()");
+  return *partitioned;
 }
 
 bool controller::resident(oram::block_id id) const {
@@ -122,7 +140,7 @@ void controller::run(std::span<const request> requests,
     trace(trace_, oram::event_kind::cycle_begin, stats_.cycles, plan.c);
 
     // --- I/O lane: exactly one storage load per cycle. ---
-    storage_layer::load_result load;
+    oram_backend::load_result load;
     if (plan.miss_position.has_value()) {
       rob_table::entry& miss_entry = rob_.at(*plan.miss_position);
       miss_entry.loading = true;
@@ -260,6 +278,26 @@ void controller::run_shuffle_period() {
   ++period_index_;
 }
 
+void controller::submit(request req) {
+  expects(req.id < config_.block_count, "request id out of range");
+  pending_.push_back(std::move(req));
+}
+
+void controller::submit(std::span<const request> requests) {
+  // Validate the whole batch before appending so a bad id cannot leave
+  // a partial prefix in the session queue.
+  for (const request& req : requests) {
+    expects(req.id < config_.block_count, "request id out of range");
+  }
+  pending_.insert(pending_.end(), requests.begin(), requests.end());
+}
+
+void controller::drain(std::vector<request_result>* results) {
+  std::vector<request> batch;
+  batch.swap(pending_);
+  run(batch, results);
+}
+
 std::vector<std::uint8_t> controller::read(oram::block_id id) {
   std::vector<request> batch(1);
   batch[0].op = oram::op_kind::read;
@@ -279,13 +317,12 @@ void controller::write(oram::block_id id,
 }
 
 std::uint64_t controller::control_memory_bytes() const {
-  // Position map + permutation list + ROB + stash payloads (rough,
+  // Position map + backend bookkeeping + ROB + stash payloads (rough,
   // for the Figure 4-1 style report).
   const std::uint64_t position_map = config_.block_count * 8;
-  const std::uint64_t permutation_list = config_.block_count * 9;
   const std::uint64_t stash_bytes =
       tree_->stash_ref().size() * (config_.payload_bytes + 16);
-  return position_map + permutation_list + stash_bytes;
+  return position_map + storage_->control_memory_bytes() + stash_bytes;
 }
 
 }  // namespace horam

@@ -1,6 +1,7 @@
 // H-ORAM controller: the trusted orchestrator tying together the
-// in-memory Path ORAM cache, the partitioned storage layer, the ROB
-// table and the secure scheduler (Figure 4-1).
+// in-memory Path ORAM cache, a pluggable oram_backend (the partitioned
+// storage layer by default), the ROB table and the secure scheduler
+// (Figure 4-1).
 //
 // Operation (§4.1): during an access period each cycle issues exactly
 // one storage load (real miss, or a dummy that may prefetch) in
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/oram_backend.h"
 #include "core/rob_table.h"
 #include "core/scheduler.h"
 #include "core/storage_layer.h"
@@ -87,9 +89,18 @@ struct controller_stats {
 
 class controller {
  public:
-  /// `storage_device` backs the partitioned store; `memory_device`
-  /// backs the in-memory tree. Pass a filler to give blocks initial
-  /// contents (null = zero-filled).
+  /// Primary constructor: the caller chooses the oblivious store. The
+  /// backend must protect `config.block_count` blocks of
+  /// `config.payload_bytes` payload; `memory_device` backs the in-memory
+  /// cache tree.
+  controller(const horam_config& config,
+             std::unique_ptr<oram_backend> backend,
+             sim::block_device& memory_device, const sim::cpu_model& cpu,
+             util::random_source& rng, oram::access_trace* trace = nullptr);
+
+  /// Convenience constructor: fronts the default partitioned
+  /// storage_layer on `storage_device`. Pass a filler to give blocks
+  /// initial contents (null = zero-filled).
   controller(const horam_config& config, sim::block_device& storage_device,
              sim::block_device& memory_device, const sim::cpu_model& cpu,
              util::random_source& rng, oram::access_trace* trace = nullptr,
@@ -102,6 +113,20 @@ class controller {
   /// non-null. May be called repeatedly; virtual time accumulates.
   void run(std::span<const request> requests,
            std::vector<request_result>* results = nullptr);
+
+  // --- Incremental session API: stream requests in, drain when ready. ---
+
+  /// Enqueues one request (validated immediately) without running it.
+  void submit(request req);
+  /// Enqueues a batch without running it.
+  void submit(std::span<const request> requests);
+  /// Requests submitted but not yet drained.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+  /// Services every pending request to completion; per-request results
+  /// (in submission order) are captured when `results` is non-null.
+  void drain(std::vector<request_result>* results = nullptr);
 
   /// Convenience single-request API (examples / interactive use); pads
   /// the group with dummies like any other cycle.
@@ -118,9 +143,13 @@ class controller {
   [[nodiscard]] const oram::path_oram& memory_tree() const noexcept {
     return *tree_;
   }
-  [[nodiscard]] const storage_layer& storage() const noexcept {
+  /// The oblivious store behind the cache layer.
+  [[nodiscard]] const oram_backend& backend() const noexcept {
     return *storage_;
   }
+  /// Typed view of the default partitioned backend; only valid when the
+  /// controller fronts a storage_layer (geometry-aware tests, audits).
+  [[nodiscard]] const storage_layer& storage() const;
   /// Trusted-memory bytes the control layer occupies (reporting).
   [[nodiscard]] std::uint64_t control_memory_bytes() const;
 
@@ -141,9 +170,12 @@ class controller {
 
   sim::sim_clock clock_;
   std::unique_ptr<oram::path_oram> tree_;
-  std::unique_ptr<storage_layer> storage_;
+  std::unique_ptr<oram_backend> storage_;
   scheduler scheduler_;
   rob_table rob_;
+
+  /// Requests submitted but not yet drained (session API).
+  std::vector<request> pending_;
 
   /// Control-layer shelter for shuffle-overflow blocks; resident from
   /// the scheduler's point of view (served with dummy path accesses).

@@ -1,0 +1,115 @@
+// The pluggable oblivious-store interface behind the H-ORAM controller.
+//
+// The paper presents H-ORAM as a cacheable ORAM *interface*: the
+// controller owns the in-memory cache tree, the ROB and the scheduler,
+// and drives an underlying oblivious store through exactly four
+// bus-relevant operations — load a missed block, issue a dummy load,
+// answer residency queries, and absorb the evicted hot set during the
+// shuffle period. Any scheme that can answer those calls with the right
+// obliviousness guarantees can sit below the controller; this header
+// names the contract.
+//
+// Contract (what the controller guarantees / expects):
+//   * Construction leaves every block of the configured id space on
+//     storage with its initial payload; device statistics are reset so
+//     initialisation is not measured.
+//   * load_block(id) is only called while in_storage(id) is true; the
+//     block afterwards counts as cached (in_storage(id) == false) until
+//     a shuffle_period() re-places it.
+//   * dummy_load() may opportunistically return a live block (prefetch);
+//     the controller installs whatever comes back into its cache tree.
+//   * shuffle_period() receives every cached block (tree eviction plus
+//     control-layer shelter). Blocks the scheme cannot place are handed
+//     back via `overflow_out` and return with the next period's batch.
+//   * check_consistency() performs a deep audit of the control-layer
+//     bookkeeping and throws util::contract_error on the first
+//     inconsistency (tests call it after stress runs).
+#ifndef HORAM_CORE_ORAM_BACKEND_H
+#define HORAM_CORE_ORAM_BACKEND_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "oram/common/types.h"
+#include "sim/time.h"
+
+namespace horam {
+
+/// Counters shared by every backend. Fields a scheme has no analogue
+/// for simply stay zero (e.g. append_segments outside the partitioned
+/// store, masking_reads outside partial shuffling).
+struct backend_stats {
+  std::uint64_t real_loads = 0;
+  std::uint64_t dummy_loads = 0;
+  std::uint64_t prefetched_blocks = 0;  // live blocks found by dummy loads
+  std::uint64_t masking_reads = 0;      // partial-shuffle redundancy
+  std::uint64_t exhausted_dummy_loads = 0;  // degenerate: no unread slot
+  std::uint64_t partitions_shuffled = 0;
+  std::uint64_t append_segments = 0;
+  std::uint64_t overflow_blocks = 0;  // could not be placed; to shelter
+};
+
+/// Device-time split of one shuffle period, kept separate so the
+/// controller can apply the configured shuffle_policy.
+struct shuffle_cost {
+  sim::sim_time io_read = 0;
+  sim::sim_time io_write = 0;
+  sim::sim_time memory = 0;
+  sim::sim_time cpu = 0;
+
+  [[nodiscard]] sim::sim_time total() const noexcept {
+    return io_read + io_write + memory + cpu;
+  }
+};
+
+class oram_backend {
+ public:
+  /// Result of a storage load.
+  struct load_result {
+    oram::cost_split cost;
+    /// Block brought into memory (dummy_block_id if the load was a
+    /// dummy that found no live block).
+    oram::block_id id = oram::dummy_block_id;
+    std::vector<std::uint8_t> payload;
+  };
+
+  virtual ~oram_backend() = default;
+
+  /// Human-readable scheme name (reports, comparisons).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True iff the live copy of `id` is on storage (not cached).
+  [[nodiscard]] virtual bool in_storage(oram::block_id id) const = 0;
+
+  /// Loads the live copy of `id` (must be in storage); marks it cached.
+  virtual load_result load_block(oram::block_id id) = 0;
+
+  /// Loads a scheme-chosen dead or unaccessed slot; any live block found
+  /// becomes cached (prefetch).
+  virtual load_result dummy_load() = 0;
+
+  /// Runs one shuffle period: folds `evicted` (the controller's whole
+  /// hot set) back into the layout and re-randomises whatever the scheme
+  /// re-randomises. Blocks that cannot be placed go to `overflow_out`.
+  virtual shuffle_cost shuffle_period(
+      std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
+      std::vector<oram::evicted_block>& overflow_out) = 0;
+
+  [[nodiscard]] virtual const backend_stats& stats() const noexcept = 0;
+
+  /// Physical bytes the storage layout occupies (reporting).
+  [[nodiscard]] virtual std::uint64_t physical_bytes() const = 0;
+
+  /// Trusted-memory bytes of the scheme's control-layer bookkeeping
+  /// (permutation lists, pools; reporting).
+  [[nodiscard]] virtual std::uint64_t control_memory_bytes() const = 0;
+
+  /// Deep audit of the control-layer state; throws contract_error on
+  /// the first inconsistency.
+  virtual void check_consistency() const = 0;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_ORAM_BACKEND_H

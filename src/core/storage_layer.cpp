@@ -465,11 +465,17 @@ shuffle_cost storage_layer::shuffle_period(
   return cost;
 }
 
-std::uint64_t storage_layer::physical_bytes() const noexcept {
+std::uint64_t storage_layer::physical_bytes() const {
   const std::uint64_t logical = config_.logical_block_bytes != 0
                                     ? config_.logical_block_bytes
                                     : codec_.record_bytes();
   return store_->geometry().total_slots() * logical;
+}
+
+std::uint64_t storage_layer::control_memory_bytes() const {
+  // Permutation list (residence bit + partition + slot, ~9 bytes per
+  // block) plus the unaccessed-slot pools and their position index.
+  return config_.block_count * 9 + store_->geometry().total_slots() * 8;
 }
 
 std::uint64_t storage_layer::pending_segments(

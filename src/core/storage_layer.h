@@ -32,10 +32,10 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/oram_backend.h"
 #include "oram/common/access_trace.h"
 #include "oram/common/block_codec.h"
 #include "oram/common/types.h"
-#include "oram/path/path_oram.h"
 #include "sim/cpu_model.h"
 #include "sim/device.h"
 #include "storage/partitioned_store.h"
@@ -44,32 +44,10 @@
 
 namespace horam {
 
-/// Counters of the storage layer.
-struct storage_layer_stats {
-  std::uint64_t real_loads = 0;
-  std::uint64_t dummy_loads = 0;
-  std::uint64_t prefetched_blocks = 0;  // live blocks found by dummy loads
-  std::uint64_t masking_reads = 0;      // partial-shuffle redundancy
-  std::uint64_t exhausted_dummy_loads = 0;  // degenerate: no unread slot
-  std::uint64_t partitions_shuffled = 0;
-  std::uint64_t append_segments = 0;
-  std::uint64_t overflow_blocks = 0;  // could not be placed; to shelter
-};
+/// Counters of the storage layer (the shared backend counter set).
+using storage_layer_stats = backend_stats;
 
-/// Device-time split of one shuffle period, kept separate so the
-/// controller can apply the configured shuffle_policy.
-struct shuffle_cost {
-  sim::sim_time io_read = 0;
-  sim::sim_time io_write = 0;
-  sim::sim_time memory = 0;
-  sim::sim_time cpu = 0;
-
-  [[nodiscard]] sim::sim_time total() const noexcept {
-    return io_read + io_write + memory + cpu;
-  }
-};
-
-class storage_layer {
+class storage_layer final : public oram_backend {
  public:
   /// Builds the initial permuted layout holding every block in
   /// [0, config.block_count); `filler` provides initial payloads (null =
@@ -81,42 +59,39 @@ class storage_layer {
                 const std::function<void(oram::block_id,
                                          std::span<std::uint8_t>)>* filler);
 
-  /// Result of a storage load.
-  struct load_result {
-    oram::cost_split cost;
-    /// Block brought into memory (dummy_block_id if the load was a
-    /// dummy that found no live block).
-    oram::block_id id = oram::dummy_block_id;
-    std::vector<std::uint8_t> payload;
-  };
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "partitioned";
+  }
 
   /// True iff the live copy of `id` is on storage (not cached).
-  [[nodiscard]] bool in_storage(oram::block_id id) const;
+  [[nodiscard]] bool in_storage(oram::block_id id) const override;
 
   /// Loads the live copy of `id` (must be in storage); marks it cached.
   /// Issues the partial-shuffle masking reads for its partition.
-  load_result load_block(oram::block_id id);
+  load_result load_block(oram::block_id id) override;
 
   /// Loads a uniformly random unaccessed slot; any live block found
   /// becomes cached (prefetch).
-  load_result dummy_load();
+  load_result dummy_load() override;
 
   /// Runs one shuffle period: re-permutes due partitions merged with
   /// their share of `evicted` hot blocks (plus any reinjected overflow)
   /// and appends fixed-size segments to the rest. Blocks that cannot be
   /// placed are moved to `overflow_out` (control-layer shelter).
-  shuffle_cost shuffle_period(std::vector<oram::evicted_block> evicted,
-                              std::uint64_t period_index,
-                              std::vector<oram::evicted_block>& overflow_out);
+  shuffle_cost shuffle_period(
+      std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
+      std::vector<oram::evicted_block>& overflow_out) override;
 
-  [[nodiscard]] const storage_layer_stats& stats() const noexcept {
+  [[nodiscard]] const storage_layer_stats& stats() const noexcept override {
     return stats_;
   }
   [[nodiscard]] const storage::partition_geometry& geometry() const noexcept {
     return store_->geometry();
   }
   /// Physical bytes the storage layout occupies (reporting).
-  [[nodiscard]] std::uint64_t physical_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t physical_bytes() const override;
+  /// Permutation list + unaccessed-slot pools (Figure 4-1 report).
+  [[nodiscard]] std::uint64_t control_memory_bytes() const override;
   [[nodiscard]] std::uint64_t pending_segments(std::uint64_t partition) const;
   [[nodiscard]] std::uint64_t unaccessed_slot_count() const;
 
@@ -125,7 +100,7 @@ class storage_layer {
   /// index agree with each other, and the live block count equals N.
   /// Throws contract_error on the first inconsistency (tests call this
   /// after stress runs; O(N + slots)).
-  void check_consistency() const;
+  void check_consistency() const override;
 
  private:
   enum class residence : std::uint8_t { memory, main_slot, append_slot };

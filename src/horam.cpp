@@ -1,0 +1,294 @@
+#include "horam.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace horam {
+
+std::string_view backend_name(backend_kind kind) {
+  switch (kind) {
+    case backend_kind::partitioned: return "partitioned";
+    case backend_kind::sqrt: return "sqrt";
+    case backend_kind::partition: return "partition";
+  }
+  return "?";
+}
+
+backend_kind backend_by_name(std::string_view name) {
+  if (name == "partitioned" || name == "horam") {
+    return backend_kind::partitioned;
+  }
+  if (name == "sqrt") {
+    return backend_kind::sqrt;
+  }
+  if (name == "partition") {
+    return backend_kind::partition;
+  }
+  expects(false, "unknown backend name (partitioned | sqrt | partition)");
+  return backend_kind::partitioned;
+}
+
+sim::device_profile storage_profile_by_name(std::string_view name) {
+  if (name == "hdd") {
+    return sim::hdd_paper();
+  }
+  if (name == "hdd-raw") {
+    return sim::hdd_7200_raw();
+  }
+  if (name == "ssd") {
+    return sim::ssd_sata();
+  }
+  if (name == "nvme") {
+    return sim::nvme();
+  }
+  expects(false, "unknown storage profile (hdd | hdd-raw | ssd | nvme)");
+  return sim::hdd_paper();
+}
+
+std::unique_ptr<oram_backend> make_backend(
+    backend_kind kind, const horam_config& config,
+    sim::block_device& device, const sim::cpu_model& cpu,
+    util::random_source& rng, oram::access_trace* trace,
+    const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
+        filler) {
+  switch (kind) {
+    case backend_kind::partitioned:
+      return std::make_unique<storage_layer>(config, device, cpu, rng,
+                                             trace, filler);
+    case backend_kind::sqrt:
+      return std::make_unique<oram::sqrt_backend>(config, device, cpu, rng,
+                                                  trace, filler);
+    case backend_kind::partition:
+      return std::make_unique<oram::partition_backend>(config, device, cpu,
+                                                       rng, trace, filler);
+  }
+  expects(false, "unknown backend kind");
+  return nullptr;
+}
+
+/// Everything a client owns, constructed in dependency order.
+struct client::machine_state {
+  sim::block_device storage;
+  sim::block_device memory;
+  sim::cpu_model cpu;
+  util::pcg64 rng;
+  std::optional<oram::access_trace> trace;
+  std::unique_ptr<controller> ctrl;
+
+  machine_state(const sim::device_profile& storage_profile,
+                const sim::device_profile& memory_profile,
+                const sim::cpu_profile& cpu_profile, std::uint64_t seed,
+                bool with_trace)
+      : storage(storage_profile),
+        memory(memory_profile),
+        cpu(cpu_profile),
+        rng(seed) {
+    if (with_trace) {
+      trace.emplace();
+    }
+  }
+};
+
+client::client(std::unique_ptr<machine_state> state, backend_kind kind)
+    : state_(std::move(state)), kind_(kind) {}
+
+// Defined here, where machine_state is complete.
+client::client(client&&) noexcept = default;
+client& client::operator=(client&&) noexcept = default;
+client::~client() = default;
+
+std::vector<std::uint8_t> client::read(oram::block_id id) {
+  return state_->ctrl->read(id);
+}
+
+void client::write(oram::block_id id, std::span<const std::uint8_t> data) {
+  state_->ctrl->write(id, data);
+}
+
+void client::run(std::span<const request> requests,
+                 std::vector<request_result>* results) {
+  state_->ctrl->run(requests, results);
+}
+
+void client::submit(request req) { state_->ctrl->submit(std::move(req)); }
+
+void client::submit(std::span<const request> requests) {
+  state_->ctrl->submit(requests);
+}
+
+std::size_t client::pending() const noexcept {
+  return state_->ctrl->pending();
+}
+
+void client::drain(std::vector<request_result>* results) {
+  state_->ctrl->drain(results);
+}
+
+const controller_stats& client::stats() const noexcept {
+  return state_->ctrl->stats();
+}
+
+sim::sim_time client::now() const noexcept { return state_->ctrl->now(); }
+
+const horam_config& client::config() const noexcept {
+  return state_->ctrl->config();
+}
+
+const oram_backend& client::backend() const noexcept {
+  return state_->ctrl->backend();
+}
+
+const oram::access_trace* client::trace() const noexcept {
+  return state_->trace.has_value() ? &*state_->trace : nullptr;
+}
+
+sim::block_device& client::storage_device() noexcept {
+  return state_->storage;
+}
+
+sim::block_device& client::memory_device() noexcept {
+  return state_->memory;
+}
+
+std::uint64_t client::control_memory_bytes() const {
+  return state_->ctrl->control_memory_bytes();
+}
+
+controller& client::ctrl() noexcept { return *state_->ctrl; }
+
+const controller& client::ctrl() const noexcept { return *state_->ctrl; }
+
+client_builder& client_builder::blocks(std::uint64_t n) {
+  config_.block_count = n;
+  return *this;
+}
+
+client_builder& client_builder::memory_blocks(std::uint64_t n) {
+  config_.memory_blocks = n;
+  cache_ratio_ = 0.0;
+  return *this;
+}
+
+client_builder& client_builder::cache_ratio(double ratio) {
+  expects(ratio > 0.0 && ratio < 1.0, "cache ratio must be in (0, 1)");
+  cache_ratio_ = ratio;
+  return *this;
+}
+
+client_builder& client_builder::payload_bytes(std::size_t bytes) {
+  config_.payload_bytes = bytes;
+  return *this;
+}
+
+client_builder& client_builder::logical_block_bytes(std::uint64_t bytes) {
+  config_.logical_block_bytes = bytes;
+  return *this;
+}
+
+client_builder& client_builder::bucket_size(std::uint32_t z) {
+  config_.bucket_size = z;
+  return *this;
+}
+
+client_builder& client_builder::backend(backend_kind kind) {
+  kind_ = kind;
+  return *this;
+}
+
+client_builder& client_builder::storage_profile(
+    const sim::device_profile& profile) {
+  storage_profile_ = profile;
+  return *this;
+}
+
+client_builder& client_builder::storage_profile(std::string_view name) {
+  storage_profile_ = storage_profile_by_name(name);
+  return *this;
+}
+
+client_builder& client_builder::memory_profile(
+    const sim::device_profile& profile) {
+  memory_profile_ = profile;
+  return *this;
+}
+
+client_builder& client_builder::cpu(const sim::cpu_profile& profile) {
+  cpu_profile_ = profile;
+  return *this;
+}
+
+client_builder& client_builder::shuffle(shuffle_policy policy) {
+  config_.shuffle = policy;
+  return *this;
+}
+
+client_builder& client_builder::shuffle_every(std::uint32_t periods) {
+  config_.shuffle_every_periods = periods;
+  return *this;
+}
+
+client_builder& client_builder::stages(
+    std::vector<scheduler_stage> stages) {
+  config_.stages = std::move(stages);
+  return *this;
+}
+
+client_builder& client_builder::seal(bool on) {
+  config_.seal = on;
+  return *this;
+}
+
+client_builder& client_builder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+client_builder& client_builder::trace(bool on) {
+  trace_ = on;
+  return *this;
+}
+
+client_builder& client_builder::filler(
+    std::function<void(oram::block_id, std::span<std::uint8_t>)> fill) {
+  filler_ = std::move(fill);
+  return *this;
+}
+
+client_builder& client_builder::config_tweak(
+    std::function<void(horam_config&)> tweak) {
+  tweak_ = std::move(tweak);
+  return *this;
+}
+
+client client_builder::build() const {
+  horam_config config = config_;
+  if (cache_ratio_ > 0.0) {
+    const auto derived = static_cast<std::uint64_t>(
+        cache_ratio_ * static_cast<double>(config.block_count));
+    // ratio < 1 keeps memory below the dataset; floor at one bucket pair.
+    config.memory_blocks =
+        std::max<std::uint64_t>(derived, 2 * config.bucket_size);
+  }
+  if (tweak_) {
+    tweak_(config);
+  }
+  config.validate();
+
+  auto state = std::make_unique<client::machine_state>(
+      storage_profile_, memory_profile_, cpu_profile_, seed_, trace_);
+  oram::access_trace* trace_ptr =
+      state->trace.has_value() ? &*state->trace : nullptr;
+  const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
+      filler_ptr = filler_ ? &filler_ : nullptr;
+
+  std::unique_ptr<oram_backend> backend =
+      make_backend(kind_, config, state->storage, state->cpu, state->rng,
+                   trace_ptr, filler_ptr);
+  state->ctrl = std::make_unique<controller>(config, std::move(backend),
+                                             state->memory, state->cpu,
+                                             state->rng, trace_ptr);
+  return client(std::move(state), kind_);
+}
+
+}  // namespace horam

@@ -1,0 +1,201 @@
+// H-ORAM public facade: the one header applications include.
+//
+//   #include "horam.h"
+//
+//   horam::client oram = horam::client_builder()
+//                            .blocks(1 << 16)
+//                            .cache_ratio(0.125)
+//                            .payload_bytes(64)
+//                            .backend(horam::backend_kind::partitioned)
+//                            .storage_profile("hdd")
+//                            .build();
+//   oram.write(1234, data);
+//   std::vector<std::uint8_t> back = oram.read(1234);
+//
+// The builder assembles a whole simulated machine (storage device,
+// memory device, CPU model, RNG, optional bus trace), picks one of the
+// pluggable oram_backend implementations, and wires the controller on
+// top. The resulting client owns everything, so callers never juggle
+// device lifetimes by hand.
+//
+// Layering (Figure 4-1 of the paper):
+//
+//   application ──► client (this facade)
+//                     └─► controller      — cache tree + ROB + scheduler
+//                           └─► oram_backend — pluggable oblivious store
+//                                 ├─ partitioned (H-ORAM §4.1.3, default)
+//                                 ├─ sqrt        (Goldreich-Ostrovsky)
+//                                 └─ partition   (Stefanov et al.)
+//                                       └─► sim::block_device profiles
+#ifndef HORAM_HORAM_H
+#define HORAM_HORAM_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/multi_user.h"
+#include "core/oram_backend.h"
+#include "oram/partition/partition_backend.h"
+#include "oram/sqrt/sqrt_backend.h"
+#include "sim/profiles.h"
+#include "workload/generators.h"
+
+namespace horam {
+
+/// The pluggable oblivious stores a client can front.
+enum class backend_kind : std::uint8_t {
+  /// H-ORAM's partitioned storage layer (§4.1.3) — the default.
+  partitioned,
+  /// Square-root ORAM array with Melbourne reshuffles (§2.1.3).
+  sqrt,
+  /// Partition ORAM with isolated per-partition shuffles (§2.1.4).
+  partition,
+};
+
+/// Human-readable backend name ("partitioned" / "sqrt" / "partition").
+[[nodiscard]] std::string_view backend_name(backend_kind kind);
+
+/// Parses a backend name; throws contract_error on unknown names.
+[[nodiscard]] backend_kind backend_by_name(std::string_view name);
+
+/// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
+/// "ssd", "nvme". Throws contract_error on unknown names.
+[[nodiscard]] sim::device_profile storage_profile_by_name(
+    std::string_view name);
+
+/// Constructs one of the pluggable backends on `device`. Used by the
+/// builder; also handy for tests that drive a backend directly.
+[[nodiscard]] std::unique_ptr<oram_backend> make_backend(
+    backend_kind kind, const horam_config& config,
+    sim::block_device& device, const sim::cpu_model& cpu,
+    util::random_source& rng, oram::access_trace* trace,
+    const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
+        filler);
+
+/// A fully wired H-ORAM instance: devices, CPU, RNG, backend and
+/// controller, owned together. Move-only; build with client_builder.
+class client {
+ public:
+  client(client&&) noexcept;
+  client& operator=(client&&) noexcept;
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+  ~client();
+
+  // --- Single-block API. ---
+  [[nodiscard]] std::vector<std::uint8_t> read(oram::block_id id);
+  void write(oram::block_id id, std::span<const std::uint8_t> data);
+
+  // --- Batch API. ---
+  void run(std::span<const request> requests,
+           std::vector<request_result>* results = nullptr);
+
+  // --- Incremental session API. ---
+  void submit(request req);
+  void submit(std::span<const request> requests);
+  [[nodiscard]] std::size_t pending() const noexcept;
+  void drain(std::vector<request_result>* results = nullptr);
+
+  // --- Introspection. ---
+  [[nodiscard]] const controller_stats& stats() const noexcept;
+  [[nodiscard]] sim::sim_time now() const noexcept;
+  [[nodiscard]] const horam_config& config() const noexcept;
+  [[nodiscard]] backend_kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const oram_backend& backend() const noexcept;
+  /// The bus trace, when the builder enabled tracing (null otherwise).
+  [[nodiscard]] const oram::access_trace* trace() const noexcept;
+  [[nodiscard]] sim::block_device& storage_device() noexcept;
+  [[nodiscard]] sim::block_device& memory_device() noexcept;
+  /// Trusted-memory bytes of the control layer (reporting).
+  [[nodiscard]] std::uint64_t control_memory_bytes() const;
+
+  /// The underlying controller, for layers that compose on it (e.g.
+  /// multi_user_frontend) and for geometry-aware audits.
+  [[nodiscard]] controller& ctrl() noexcept;
+  [[nodiscard]] const controller& ctrl() const noexcept;
+
+ private:
+  friend class client_builder;
+
+  struct machine_state;
+  client(std::unique_ptr<machine_state> state, backend_kind kind);
+
+  std::unique_ptr<machine_state> state_;
+  backend_kind kind_ = backend_kind::partitioned;
+};
+
+/// Fluent builder for client instances. Every setter has a sensible
+/// default (the paper's experimental machine, the partitioned backend),
+/// so `client_builder().blocks(n).payload_bytes(b).build()` works.
+class client_builder {
+ public:
+  /// Real data blocks protected (N). Required.
+  client_builder& blocks(std::uint64_t n);
+  /// In-memory cache tree capacity in blocks (n).
+  client_builder& memory_blocks(std::uint64_t n);
+  /// Alternative to memory_blocks: memory = ratio * blocks (clamped to
+  /// the config's validity envelope). The paper's runs use ~1/8.
+  client_builder& cache_ratio(double ratio);
+  /// Application payload bytes per block. Required.
+  client_builder& payload_bytes(std::size_t bytes);
+  /// Block size used for device timing (0 = encoded record size).
+  client_builder& logical_block_bytes(std::uint64_t bytes);
+  /// Path ORAM bucket size (Z).
+  client_builder& bucket_size(std::uint32_t z);
+
+  /// Which oblivious store to front (default: partitioned).
+  client_builder& backend(backend_kind kind);
+  /// Storage device behind the backend (default: paper-calibrated HDD).
+  client_builder& storage_profile(const sim::device_profile& profile);
+  client_builder& storage_profile(std::string_view name);
+  /// Memory device behind the cache tree (default: DDR4).
+  client_builder& memory_profile(const sim::device_profile& profile);
+  /// Control-layer CPU (default: AES-NI class).
+  client_builder& cpu(const sim::cpu_profile& profile);
+
+  /// Shuffle execution policy (default: foreground).
+  client_builder& shuffle(shuffle_policy policy);
+  /// Partial shuffling cadence (1 = full shuffle every period).
+  client_builder& shuffle_every(std::uint32_t periods);
+  /// Scheduler stages (group size / period fraction).
+  client_builder& stages(std::vector<scheduler_stage> stages);
+
+  /// Real sealing (default on) vs plaintext with modelled crypto time.
+  client_builder& seal(bool on);
+  /// RNG seed (deterministic runs).
+  client_builder& seed(std::uint64_t seed);
+  /// Record the observable bus trace (client.trace()).
+  client_builder& trace(bool on);
+  /// Initial payload of every block (default: zero-filled).
+  client_builder& filler(
+      std::function<void(oram::block_id, std::span<std::uint8_t>)> fill);
+  /// Escape hatch: edit the derived horam_config before construction
+  /// (ablation benches tweaking fields the builder does not expose).
+  client_builder& config_tweak(std::function<void(horam_config&)> tweak);
+
+  /// Assembles the machine and returns the ready client. Throws
+  /// contract_error when the configuration is invalid.
+  [[nodiscard]] client build() const;
+
+ private:
+  horam_config config_{};
+  double cache_ratio_ = 0.0;  // 0 = use config_.memory_blocks
+  backend_kind kind_ = backend_kind::partitioned;
+  sim::device_profile storage_profile_ = sim::hdd_paper();
+  sim::device_profile memory_profile_ = sim::dram_ddr4();
+  sim::cpu_profile cpu_profile_ = sim::cpu_aesni();
+  std::uint64_t seed_ = 2019;
+  bool trace_ = false;
+  std::function<void(oram::block_id, std::span<std::uint8_t>)> filler_;
+  std::function<void(horam_config&)> tweak_;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_HORAM_H

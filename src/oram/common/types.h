@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -21,6 +22,13 @@ using leaf_id = std::uint64_t;
 
 /// Operation kind of a request.
 enum class op_kind : std::uint8_t { read, write };
+
+/// One real block leaving a cache layer with its current payload
+/// (output of path_oram::evict_all, input of oram_backend shuffles).
+struct evicted_block {
+  block_id id = dummy_block_id;
+  std::vector<std::uint8_t> payload;
+};
 
 /// Virtual-time cost of an operation, split by the resource that pays
 /// it. The scheduler overlaps io with (memory + cpu); serial baselines

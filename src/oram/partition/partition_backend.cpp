@@ -1,0 +1,405 @@
+#include "oram/partition/partition_backend.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+namespace {
+
+constexpr std::uint32_t no_pool_position =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+partition_backend::partition_backend(
+    const horam_config& config, sim::block_device& device,
+    const sim::cpu_model& cpu, util::random_source& rng,
+    access_trace* trace,
+    const std::function<void(block_id, std::span<std::uint8_t>)>* filler)
+    : config_(config),
+      codec_(config.payload_bytes, config.seal, config.key_seed ^ 0x5061),
+      cpu_(cpu),
+      rng_(rng),
+      trace_(trace),
+      pool_weight_(config.partition_count()) {
+  config_.validate();
+
+  const std::uint64_t partitions = config_.partition_count();
+  const std::uint64_t expected =
+      util::ceil_div(config_.block_count, partitions);
+  // Random per-block partition assignment skews harder than the
+  // partitioned layer's planned deal, so keep a generous slack floor
+  // (the classic scheme uses ~1.5; overflow still shelters).
+  const double slack = std::max(config_.partition_slack, 1.5);
+  const std::uint64_t capacity = static_cast<std::uint64_t>(
+      slack * static_cast<double>(expected) + 1.0);
+
+  const std::uint64_t logical = config_.logical_block_bytes != 0
+                                    ? config_.logical_block_bytes
+                                    : codec_.record_bytes();
+  store_ = std::make_unique<storage::partitioned_store>(
+      device, /*base_offset=*/0,
+      storage::partition_geometry{partitions, capacity,
+                                  /*append_capacity=*/0},
+      codec_.record_bytes(), logical);
+
+  locations_.resize(config_.block_count);
+  contents_.assign(partitions,
+                   std::vector<block_id>(capacity, dummy_block_id));
+  pool_.resize(partitions);
+  pool_position_.assign(
+      partitions, std::vector<std::uint32_t>(capacity, no_pool_position));
+  record_scratch_.resize(codec_.record_bytes());
+  payload_scratch_.resize(config_.payload_bytes);
+
+  // Initial permuted layout: a random deal of ids across partitions,
+  // random slot order inside each.
+  const std::vector<std::uint64_t> order =
+      util::random_permutation(rng_, config_.block_count);
+  std::vector<std::uint8_t> image(capacity * codec_.record_bytes());
+  std::vector<std::uint8_t> payload(config_.payload_bytes, 0);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    const std::uint64_t count =
+        std::min(expected, config_.block_count - cursor);
+    const std::vector<std::uint64_t> slots =
+        util::random_permutation(rng_, capacity);
+    std::vector<block_id> slot_block(capacity, dummy_block_id);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      slot_block[slots[k]] = order[cursor + k];
+    }
+    cursor += count;
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+      const std::span<std::uint8_t> record(
+          image.data() + i * codec_.record_bytes(), codec_.record_bytes());
+      const block_id id = slot_block[i];
+      if (id == dummy_block_id) {
+        codec_.encode_dummy(record);
+        continue;
+      }
+      std::fill(payload.begin(), payload.end(), 0);
+      if (filler != nullptr) {
+        (*filler)(id, payload);
+      }
+      codec_.encode(id, payload, record);
+      contents_[p][i] = id;
+      locations_[id] = location{false, static_cast<std::uint32_t>(p),
+                                static_cast<std::uint32_t>(i)};
+    }
+    store_->write_partition(p, image);
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      pool_insert(p, i);
+    }
+  }
+  invariant(cursor == config_.block_count, "initial deal lost blocks");
+  device.reset_stats();
+}
+
+void partition_backend::pool_insert(std::uint64_t partition,
+                                    std::uint32_t index) {
+  invariant(pool_position_[partition][index] == no_pool_position,
+            "slot already in the unaccessed pool");
+  pool_position_[partition][index] =
+      static_cast<std::uint32_t>(pool_[partition].size());
+  pool_[partition].push_back(index);
+  pool_weight_.add(partition, 1);
+}
+
+void partition_backend::pool_remove(std::uint64_t partition,
+                                    std::uint32_t index) {
+  const std::uint32_t position = pool_position_[partition][index];
+  invariant(position != no_pool_position,
+            "slot not in the unaccessed pool");
+  const std::uint32_t last = pool_[partition].back();
+  pool_[partition][position] = last;
+  pool_position_[partition][last] = position;
+  pool_[partition].pop_back();
+  pool_position_[partition][index] = no_pool_position;
+  pool_weight_.add(partition, -1);
+}
+
+cost_split partition_backend::consume_slot(std::uint64_t partition,
+                                           std::uint32_t index,
+                                           block_id& decoded_out) {
+  cost_split cost;
+  cost.io += store_->read_slot(partition, index, record_scratch_);
+  trace(trace_, event_kind::storage_read_slot,
+        partition * store_->geometry().slots_per_partition() + index);
+  decoded_out = codec_.decode(record_scratch_, payload_scratch_);
+  cost.cpu += cpu_.crypto_time(1, codec_.record_bytes());
+  return cost;
+}
+
+bool partition_backend::in_storage(block_id id) const {
+  expects(id < config_.block_count, "block id out of range");
+  return !locations_[id].cached;
+}
+
+oram_backend::load_result partition_backend::load_block(block_id id) {
+  expects(in_storage(id), "block is not on storage");
+  load_result result;
+  ++stats_.real_loads;
+
+  const location loc = locations_[id];
+  pool_remove(loc.partition, loc.index);
+  block_id decoded = dummy_block_id;
+  result.cost += consume_slot(loc.partition, loc.index, decoded);
+  invariant(decoded == id, "slot map out of sync with storage");
+  result.id = id;
+  result.payload.assign(payload_scratch_.begin(), payload_scratch_.end());
+  contents_[loc.partition][loc.index] = dummy_block_id;
+  locations_[id].cached = true;
+  return result;
+}
+
+oram_backend::load_result partition_backend::dummy_load() {
+  load_result result;
+  ++stats_.dummy_loads;
+
+  const std::int64_t total = pool_weight_.total();
+  if (total == 0) {
+    // Degenerate: every slot was touched since its last rewrite. Keep
+    // the bus busy with a repeat read (pattern deviation counted).
+    ++stats_.exhausted_dummy_loads;
+    const std::uint64_t p =
+        util::uniform_below(rng_, store_->geometry().partition_count);
+    const std::uint32_t index = static_cast<std::uint32_t>(
+        util::uniform_below(rng_, store_->geometry().main_capacity));
+    block_id discarded = dummy_block_id;
+    result.cost += consume_slot(p, index, discarded);
+    return result;
+  }
+
+  const std::int64_t offset = static_cast<std::int64_t>(
+      util::uniform_below(rng_, static_cast<std::uint64_t>(total)));
+  const std::size_t partition = pool_weight_.find_by_offset(offset);
+  const std::int64_t within = offset - pool_weight_.prefix_sum(partition);
+  const std::uint32_t index =
+      pool_[partition][static_cast<std::size_t>(within)];
+  pool_remove(partition, index);
+
+  block_id decoded = dummy_block_id;
+  result.cost += consume_slot(partition, index, decoded);
+
+  // The protocol's dummy fetches are real fetches: a live block found
+  // by the cover read joins the cache (otherwise its consumed slot
+  // would strand it until the next rewrite of this partition).
+  if (decoded != dummy_block_id &&
+      contents_[partition][index] == decoded) {
+    result.id = decoded;
+    result.payload.assign(payload_scratch_.begin(), payload_scratch_.end());
+    contents_[partition][index] = dummy_block_id;
+    locations_[decoded].cached = true;
+    ++stats_.prefetched_blocks;
+  }
+  return result;
+}
+
+horam::shuffle_cost partition_backend::rewrite_partition(
+    std::uint64_t partition, std::vector<evicted_block> incoming) {
+  horam::shuffle_cost cost;
+  const std::uint64_t capacity = store_->geometry().main_capacity;
+  const std::size_t record_bytes = codec_.record_bytes();
+
+  // Stream the partition in (cold data).
+  std::vector<std::uint8_t> image;
+  std::uint64_t records_read = 0;
+  cost.io_read += store_->read_partition(partition,
+                                         /*include_appends=*/false, image,
+                                         records_read);
+  trace(trace_, event_kind::storage_read_sweep,
+        partition * store_->geometry().slots_per_partition(), capacity);
+  cost.cpu += cpu_.crypto_time(records_read, record_bytes);
+
+  // Gather survivors, then the incoming hot share.
+  std::vector<evicted_block> blocks;
+  blocks.reserve(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    const block_id id = contents_[partition][i];
+    if (id == dummy_block_id) {
+      continue;
+    }
+    const block_id decoded = codec_.decode(
+        std::span<const std::uint8_t>(image.data() + i * record_bytes,
+                                      record_bytes),
+        payload_scratch_);
+    invariant(decoded == id, "partition contents out of sync");
+    blocks.push_back(evicted_block{
+        id, std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                      payload_scratch_.end())});
+  }
+  for (evicted_block& block : incoming) {
+    blocks.push_back(std::move(block));
+  }
+  invariant(blocks.size() <= capacity,
+            "partition assignment exceeded physical capacity");
+
+  // Re-permute in trusted memory, rewrite with fresh dummy padding.
+  const std::vector<std::uint64_t> slot_order =
+      util::random_permutation(rng_, capacity);
+  std::fill(contents_[partition].begin(), contents_[partition].end(),
+            dummy_block_id);
+  std::vector<std::uint8_t> out(capacity * record_bytes);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    codec_.encode_dummy(std::span<std::uint8_t>(
+        out.data() + i * record_bytes, record_bytes));
+  }
+  for (std::uint64_t k = 0; k < blocks.size(); ++k) {
+    const std::uint32_t index = static_cast<std::uint32_t>(slot_order[k]);
+    codec_.encode(blocks[k].id, blocks[k].payload,
+                  std::span<std::uint8_t>(out.data() + index * record_bytes,
+                                          record_bytes));
+    contents_[partition][index] = blocks[k].id;
+    locations_[blocks[k].id] = location{
+        false, static_cast<std::uint32_t>(partition), index};
+  }
+  cost.cpu += cpu_.crypto_time(capacity, record_bytes);
+  cost.cpu += cpu_.word_ops_time(capacity);
+
+  cost.io_write += store_->write_partition(partition, out);
+  trace(trace_, event_kind::shuffle_partition, partition);
+  trace(trace_, event_kind::storage_write_sweep,
+        partition * store_->geometry().slots_per_partition(), capacity);
+  ++stats_.partitions_shuffled;
+
+  // Every slot of the rewritten partition is fresh again.
+  for (std::uint32_t index = 0; index < capacity; ++index) {
+    if (pool_position_[partition][index] == no_pool_position) {
+      pool_insert(partition, index);
+    }
+  }
+  return cost;
+}
+
+horam::shuffle_cost partition_backend::shuffle_period(
+    std::vector<evicted_block> evicted, std::uint64_t period_index,
+    std::vector<evicted_block>& overflow_out) {
+  horam::shuffle_cost cost;
+  trace(trace_, event_kind::shuffle_begin, period_index);
+
+  const std::uint64_t partitions = store_->geometry().partition_count;
+  const std::uint64_t capacity = store_->geometry().main_capacity;
+
+  // Current live occupancy per partition (placement planning).
+  std::vector<std::uint64_t> live(partitions, 0);
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    for (const block_id id : contents_[p]) {
+      live[p] += id != dummy_block_id ? 1 : 0;
+    }
+  }
+
+  // Background eviction: every evicted block goes to a uniformly random
+  // partition with room (rejection sampling, then a deterministic scan;
+  // the rest shelters with the controller until next period).
+  std::vector<std::vector<evicted_block>> incoming(partitions);
+  for (evicted_block& block : evicted) {
+    invariant(locations_[block.id].cached,
+              "evicted block the list says is on storage");
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const std::uint64_t p = util::uniform_below(rng_, partitions);
+      if (live[p] + incoming[p].size() < capacity) {
+        incoming[p].push_back(std::move(block));
+        placed = true;
+      }
+    }
+    for (std::uint64_t p = 0; p < partitions && !placed; ++p) {
+      if (live[p] + incoming[p].size() < capacity) {
+        incoming[p].push_back(std::move(block));
+        placed = true;
+      }
+    }
+    if (!placed) {
+      ++stats_.overflow_blocks;
+      overflow_out.push_back(std::move(block));
+    }
+  }
+
+  // Rewrite each partition that received blocks, in isolation.
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    if (incoming[p].empty()) {
+      continue;
+    }
+    const horam::shuffle_cost part =
+        rewrite_partition(p, std::move(incoming[p]));
+    cost.io_read += part.io_read;
+    cost.io_write += part.io_write;
+    cost.memory += part.memory;
+    cost.cpu += part.cpu;
+  }
+  return cost;
+}
+
+std::uint64_t partition_backend::physical_bytes() const {
+  const std::uint64_t logical = config_.logical_block_bytes != 0
+                                    ? config_.logical_block_bytes
+                                    : codec_.record_bytes();
+  return store_->geometry().total_slots() * logical;
+}
+
+std::uint64_t partition_backend::control_memory_bytes() const {
+  return config_.block_count * 9 + store_->geometry().total_slots() * 8;
+}
+
+std::uint64_t partition_backend::unaccessed_slot_count() const {
+  return static_cast<std::uint64_t>(pool_weight_.total());
+}
+
+void partition_backend::check_consistency() const {
+  const std::uint64_t partitions = store_->geometry().partition_count;
+  const std::uint64_t capacity = store_->geometry().main_capacity;
+
+  // 1) Locations vs slot contents.
+  std::uint64_t storage_resident = 0;
+  for (block_id id = 0; id < config_.block_count; ++id) {
+    const location& loc = locations_[id];
+    if (loc.cached) {
+      continue;
+    }
+    ++storage_resident;
+    invariant(loc.partition < partitions && loc.index < capacity,
+              "location points outside the slot space");
+    invariant(contents_[loc.partition][loc.index] == id,
+              "slot contents disagree with the location map");
+  }
+
+  // 2) Contents vs locations, and live census.
+  std::uint64_t live = 0;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      const block_id id = contents_[p][i];
+      if (id == dummy_block_id) {
+        continue;
+      }
+      ++live;
+      invariant(id < config_.block_count, "slot holds an unknown block");
+      invariant(!locations_[id].cached,
+                "slot holds a block the map says is cached");
+      invariant(locations_[id].partition == p && locations_[id].index == i,
+                "slot holds a block mapped elsewhere");
+    }
+  }
+  invariant(live == storage_resident,
+            "live census disagrees with the location map");
+
+  // 3) Pools vs their position index and the Fenwick weights.
+  std::int64_t pooled = 0;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    invariant(pool_weight_.prefix_sum(p + 1) - pool_weight_.prefix_sum(p) ==
+                  static_cast<std::int64_t>(pool_[p].size()),
+              "Fenwick weight disagrees with the pool size");
+    pooled += static_cast<std::int64_t>(pool_[p].size());
+    for (std::uint32_t position = 0; position < pool_[p].size();
+         ++position) {
+      invariant(pool_position_[p][pool_[p][position]] == position,
+                "pool position index out of sync");
+    }
+  }
+  invariant(pooled == pool_weight_.total(),
+            "Fenwick total disagrees with the pools");
+}
+
+}  // namespace horam::oram

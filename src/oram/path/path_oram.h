@@ -57,12 +57,6 @@ struct path_oram_config {
   std::uint64_t key_seed = 0x70617468;  // "path"
 };
 
-/// One evicted real block (output of evict_all).
-struct evicted_block {
-  block_id id = dummy_block_id;
-  std::vector<std::uint8_t> payload;
-};
-
 /// Counters of a Path ORAM instance.
 struct path_oram_stats {
   std::uint64_t real_accesses = 0;
