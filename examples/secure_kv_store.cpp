@@ -1,10 +1,14 @@
-// A small oblivious key-value store built on the H-ORAM public API.
+// A small oblivious key-value store built on the H-ORAM public API,
+// running through the asynchronous service layer.
 //
 // Demonstrates how an application layers its own abstraction on the
 // block interface: string keys are hashed (SipHash) onto block ids with
 // open addressing; values live inside the 1 KB blocks together with the
-// key for collision detection. The access pattern an attacker sees is
-// H-ORAM's — which keys are hot, or whether a lookup hit, stays hidden.
+// key for collision detection. Probes are admitted through a session
+// and resolved with future-style tickets — ticket::result() pumps the
+// service until the block arrives. The access pattern an attacker sees
+// is H-ORAM's — which keys are hot, or whether a lookup hit, stays
+// hidden.
 //
 //   $ ./examples/secure_kv_store
 #include <cstdio>
@@ -26,15 +30,16 @@ using namespace horam;
 /// [value bytes]; keys and values must fit one block together.
 class kv_store {
  public:
-  explicit kv_store(client& oram) : oram_(oram) {}
+  explicit kv_store(service& svc)
+      : service_(svc), session_(svc.open_session()) {}
 
   void put(const std::string& key, const std::string& value) {
-    const std::size_t capacity = oram_.config().payload_bytes;
+    const std::size_t capacity = service_.config().payload_bytes;
     expects(5 + key.size() + 2 + value.size() <= capacity,
             "entry too large for one block");
     for (std::uint64_t probe = 0; probe < max_probes; ++probe) {
       const oram::block_id id = slot_of(key, probe);
-      const std::vector<std::uint8_t> block = oram_.read(id);
+      const std::vector<std::uint8_t> block = read_slot(id);
       if (block[0] != 0 && !key_matches(block, key)) {
         continue;  // occupied by another key: linear probe onward
       }
@@ -49,7 +54,9 @@ class kv_store {
           static_cast<std::uint8_t>(value.size() >> 8);
       std::memcpy(fresh.data() + value_offset + 2, value.data(),
                   value.size());
-      oram_.write(id, fresh);
+      // The ticket is a future: result() blocks (pumping the service)
+      // until the write is applied, keeping probe chains ordered.
+      (void)session_.async_write(id, fresh).result();
       return;
     }
     throw std::runtime_error("kv_store: probe chain exhausted");
@@ -58,7 +65,7 @@ class kv_store {
   std::optional<std::string> get(const std::string& key) {
     for (std::uint64_t probe = 0; probe < max_probes; ++probe) {
       const oram::block_id id = slot_of(key, probe);
-      const std::vector<std::uint8_t> block = oram_.read(id);
+      const std::vector<std::uint8_t> block = read_slot(id);
       if (block[0] == 0) {
         return std::nullopt;  // empty slot terminates the chain
       }
@@ -78,6 +85,11 @@ class kv_store {
  private:
   static constexpr std::uint64_t max_probes = 16;
 
+  [[nodiscard]] std::vector<std::uint8_t> read_slot(oram::block_id id) {
+    ticket t = session_.async_read(id);
+    return t.result().payload;
+  }
+
   [[nodiscard]] oram::block_id slot_of(const std::string& key,
                                        std::uint64_t probe) const {
     crypto::siphash_key hash_key{};
@@ -86,7 +98,7 @@ class kv_store {
         hash_key,
         std::span<const std::uint8_t>(
             reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
-    return (digest + probe) % oram_.config().block_count;
+    return (digest + probe) % service_.config().block_count;
   }
 
   static bool key_matches(const std::vector<std::uint8_t>& block,
@@ -96,7 +108,8 @@ class kv_store {
            std::memcmp(block.data() + 3, key.data(), key.size()) == 0;
   }
 
-  client& oram_;
+  service& service_;
+  session session_;
 };
 
 }  // namespace
@@ -104,18 +117,18 @@ class kv_store {
 int main() {
   using namespace horam;
 
-  client oram = client_builder()
+  service svc = client_builder()
                     .blocks(16 * util::mib / util::kib)  // 16 MB of slots
                     .memory_blocks(2 * util::mib / util::kib)
                     .payload_bytes(256)
                     .logical_block_bytes(1024)
                     .seal(true)
                     .seed(7)
-                    .build();
-  kv_store store(oram);
+                    .build_service();
+  kv_store store(svc);
 
-  std::printf("oblivious KV store over H-ORAM (%llu slots)\n",
-              static_cast<unsigned long long>(oram.config().block_count));
+  std::printf("oblivious KV store over the H-ORAM service (%llu slots)\n",
+              static_cast<unsigned long long>(svc.config().block_count));
 
   store.put("paper", "H-ORAM: A Cacheable ORAM Interface");
   store.put("venue", "DAC 2019");
@@ -136,7 +149,7 @@ int main() {
   show("bulk/150");
   show("missing-key");
 
-  const controller_stats& stats = oram.stats();
+  const controller_stats& stats = svc.stats();
   std::printf(
       "\n%llu ORAM requests issued, hit rate %.1f%%, total virtual time "
       "%s\n",

@@ -129,8 +129,7 @@ void controller::run(std::span<const request> requests,
 
   while (serviced < requests.size()) {
     // Keep the ROB ahead of the prefetch window.
-    const std::uint64_t want =
-        2 * scheduler_.window(loads_this_period_) + 4;
+    const std::uint64_t want = scheduler_.round_budget(loads_this_period_);
     while (rob_.size() < want && next_to_enqueue < requests.size()) {
       rob_.push(next_to_enqueue++);
     }
@@ -218,7 +217,16 @@ void controller::run(std::span<const request> requests,
       run_shuffle_period();
     }
   }
-  stats_.total_time = clock_.now();
+  stats_.total_time = clock_.now() - stats_epoch_;
+}
+
+void controller::reset_stats() noexcept {
+  stats_ = controller_stats{};
+  stats_epoch_ = clock_.now();
+}
+
+std::uint64_t controller::round_budget() const noexcept {
+  return scheduler_.round_budget(loads_this_period_);
 }
 
 void controller::run_shuffle_period() {

@@ -136,6 +136,12 @@ class controller {
   [[nodiscard]] const controller_stats& stats() const noexcept {
     return stats_;
   }
+  /// Zeroes the counters and restarts the total_time epoch at the
+  /// current virtual time, so benches can exclude warm-up traffic.
+  void reset_stats() noexcept;
+  /// Requests an incremental pump should submit per scheduling round
+  /// (see scheduler::round_budget).
+  [[nodiscard]] std::uint64_t round_budget() const noexcept;
   [[nodiscard]] sim::sim_time now() const noexcept { return clock_.now(); }
   [[nodiscard]] const horam_config& config() const noexcept {
     return config_;
@@ -185,6 +191,8 @@ class controller {
   std::uint64_t period_index_ = 0;
   /// Outstanding async write-back debt (shuffle_policy::async_writeback).
   sim::sim_time flush_debt_ = 0;
+  /// Virtual-time origin of the current stats window (reset_stats).
+  sim::sim_time stats_epoch_ = 0;
 
   controller_stats stats_;
 };

@@ -1,0 +1,78 @@
+#include "core/fairness.h"
+
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace horam {
+
+std::size_t round_robin_policy::pick(std::span<const tenant_lane> lanes) {
+  expects(!lanes.empty(), "fairness policy offered no lanes");
+  // Smallest tenant id strictly after the last served one; wrap to the
+  // overall smallest when none remains in this rotation.
+  std::size_t next = lanes.size();
+  std::size_t smallest = 0;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].tenant < lanes[smallest].tenant) {
+      smallest = i;
+    }
+    if (last_.has_value() && lanes[i].tenant > *last_ &&
+        (next == lanes.size() || lanes[i].tenant < lanes[next].tenant)) {
+      next = i;
+    }
+  }
+  const std::size_t choice = next == lanes.size() ? smallest : next;
+  last_ = lanes[choice].tenant;
+  return choice;
+}
+
+std::size_t weighted_share_policy::pick(
+    std::span<const tenant_lane> lanes) {
+  expects(!lanes.empty(), "fairness policy offered no lanes");
+  std::size_t best = 0;
+  double best_pass = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    expects(lanes[i].weight > 0.0, "tenant weight must be positive");
+    const double pass =
+        (static_cast<double>(lanes[i].serviced) + 1.0) / lanes[i].weight;
+    // Tie-break on tenant id for determinism.
+    if (pass < best_pass ||
+        (pass == best_pass && lanes[i].tenant < lanes[best].tenant)) {
+      best = i;
+      best_pass = pass;
+    }
+  }
+  return best;
+}
+
+std::string_view fairness_name(fairness_kind kind) {
+  switch (kind) {
+    case fairness_kind::round_robin: return "round-robin";
+    case fairness_kind::weighted_share: return "weighted-share";
+  }
+  return "?";
+}
+
+fairness_kind fairness_by_name(std::string_view name) {
+  if (name == "round-robin" || name == "rr") {
+    return fairness_kind::round_robin;
+  }
+  if (name == "weighted-share" || name == "weighted") {
+    return fairness_kind::weighted_share;
+  }
+  expects(false, "unknown fairness policy (round-robin | weighted-share)");
+  return fairness_kind::round_robin;
+}
+
+std::unique_ptr<fairness_policy> make_fairness_policy(fairness_kind kind) {
+  switch (kind) {
+    case fairness_kind::round_robin:
+      return std::make_unique<round_robin_policy>();
+    case fairness_kind::weighted_share:
+      return std::make_unique<weighted_share_policy>();
+  }
+  expects(false, "unknown fairness policy kind");
+  return nullptr;
+}
+
+}  // namespace horam

@@ -1,0 +1,94 @@
+// Cross-tenant fairness policies (§5.3.2).
+//
+// The multi-tenant layers (core tenant_scheduler, facade horam::service)
+// interleave per-tenant admission queues into the controller's request
+// stream. Which queue is served next is a policy decision, pluggable so
+// deployments can trade strict rotation for proportional shares without
+// touching the scheduler: the policy only ever sees queue depths and
+// service counts, never block ids, so it cannot leak the access pattern.
+#ifndef HORAM_CORE_FAIRNESS_H
+#define HORAM_CORE_FAIRNESS_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace horam {
+
+/// What a fairness policy may observe about one tenant with pending
+/// work. Only tenants with `queued > 0` are offered to the policy.
+struct tenant_lane {
+  std::uint32_t tenant = 0;
+  /// Relative share weight (> 0); 1.0 unless the tenant set one.
+  double weight = 1.0;
+  /// Requests admitted but not yet handed to the controller.
+  std::size_t queued = 0;
+  /// Requests this tenant has had scheduled so far.
+  std::uint64_t serviced = 0;
+};
+
+/// Chooses which tenant's queue the scheduler pops next. Policies are
+/// stateful (rotation cursors, virtual-time counters) and must pick
+/// every offered lane eventually — starvation-freedom is part of the
+/// contract, and tests enforce it.
+class fairness_policy {
+ public:
+  virtual ~fairness_policy() = default;
+
+  /// Human-readable policy name ("round-robin", "weighted-share").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Returns the index into `lanes` (never empty) to serve next.
+  [[nodiscard]] virtual std::size_t pick(
+      std::span<const tenant_lane> lanes) = 0;
+};
+
+/// Strict rotation over tenants with pending work: each pick serves the
+/// smallest tenant id after the previously served one, wrapping around.
+/// Ignores weights.
+class round_robin_policy final : public fairness_policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "round-robin";
+  }
+  [[nodiscard]] std::size_t pick(
+      std::span<const tenant_lane> lanes) override;
+
+ private:
+  std::optional<std::uint32_t> last_;
+};
+
+/// Deficit-style proportional shares: serves the lane with the smallest
+/// (serviced + 1) / weight, so long-run service counts converge to the
+/// weight ratios while every backlogged lane still progresses (its
+/// virtual time grows slowest while it is behind).
+class weighted_share_policy final : public fairness_policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "weighted-share";
+  }
+  [[nodiscard]] std::size_t pick(
+      std::span<const tenant_lane> lanes) override;
+};
+
+/// The policies the facade can name.
+enum class fairness_kind : std::uint8_t {
+  round_robin,
+  weighted_share,
+};
+
+/// Human-readable kind name ("round-robin" / "weighted-share").
+[[nodiscard]] std::string_view fairness_name(fairness_kind kind);
+
+/// Parses a policy name; throws contract_error on unknown names.
+[[nodiscard]] fairness_kind fairness_by_name(std::string_view name);
+
+/// Constructs a fresh policy of the named kind.
+[[nodiscard]] std::unique_ptr<fairness_policy> make_fairness_policy(
+    fairness_kind kind);
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_FAIRNESS_H

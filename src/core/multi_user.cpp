@@ -1,10 +1,184 @@
 #include "core/multi_user.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "util/contracts.h"
 
 namespace horam {
+
+// --------------------------------------------------- tenant_scheduler
+
+tenant_scheduler::tenant_scheduler(controller& ctrl,
+                                   std::unique_ptr<fairness_policy> policy,
+                                   std::size_t max_queue_depth)
+    : controller_(ctrl),
+      policy_(std::move(policy)),
+      max_queue_depth_(max_queue_depth),
+      stats_epoch_(ctrl.now()) {
+  expects(policy_ != nullptr, "tenant_scheduler needs a fairness policy");
+}
+
+std::uint32_t tenant_scheduler::add_tenant(double weight) {
+  expects(weight > 0.0, "tenant weight must be positive");
+  const auto tenant = static_cast<std::uint32_t>(lanes_.size());
+  lane fresh;
+  fresh.weight = weight;
+  fresh.stats.tenant = tenant;
+  fresh.stats.weight = weight;
+  lanes_.push_back(std::move(fresh));
+  return tenant;
+}
+
+void tenant_scheduler::grant(std::uint32_t tenant, user_grant grant) {
+  expects(tenant < lanes_.size(), "grant for unknown tenant");
+  expects(grant.first <= grant.last, "grant range must be ordered");
+  grants_[tenant] = grant;
+}
+
+std::uint64_t tenant_scheduler::enqueue(std::uint32_t tenant, request req) {
+  expects(tenant < lanes_.size(), "enqueue for unknown tenant");
+  expects(req.id < controller_.config().block_count,
+          "request id out of range");
+  // Access control before anything is queued: a rejected request leaves
+  // no observable trace.
+  const auto it = grants_.find(tenant);
+  if (it != grants_.end() && !it->second.allows(req.id)) {
+    throw access_denied(tenant, req.id);
+  }
+  lane& target = lanes_[tenant];
+  if (max_queue_depth_ > 0 && target.queue.size() >= max_queue_depth_) {
+    throw queue_overflow(tenant, target.queue.size());
+  }
+  if (target.queue.empty()) {
+    // WFQ start-tag rule: a lane that goes backlogged resumes at the
+    // scheduler's virtual clock (the highest pass ever dispatched, so
+    // it persists across idle periods), not at its own lifetime count.
+    // Idle time — or joining late — therefore cannot bank a monopoly in
+    // either direction: veterans are not starved by fresh lanes, and
+    // fresh lanes are not starved by veterans.
+    const auto floor_serviced = static_cast<std::uint64_t>(std::max(
+        0.0, std::ceil(virtual_pass_ * target.weight - 1.0)));
+    target.serviced = std::max(target.serviced, floor_serviced);
+  }
+  req.user = tenant;
+  queued_request entry;
+  entry.seq = next_seq_++;
+  entry.submitted = controller_.now();
+  entry.req = std::move(req);
+  target.queue.push_back(std::move(entry));
+  ++target.stats.submitted;
+  ++queued_total_;
+  return target.queue.back().seq;
+}
+
+bool tenant_scheduler::step(const completion& on_complete) {
+  if (queued_total_ == 0) {
+    return false;
+  }
+
+  // One scheduling round: pop up to round_budget() requests, one policy
+  // pick at a time, so the controller's prefetch window stays full while
+  // tenants interleave at request granularity.
+  struct picked_meta {
+    std::uint32_t tenant = 0;
+    std::uint64_t seq = 0;
+    sim::sim_time submitted = 0;
+  };
+  const std::uint64_t budget = controller_.round_budget();
+  std::vector<request> batch;
+  std::vector<picked_meta> meta;
+  batch.reserve(budget);
+  meta.reserve(budget);
+
+  // Build the policy's view once per round and maintain it in place:
+  // only the picked lane's fields change between picks, so a round is
+  // O(budget) policy work instead of O(budget * tenants) rebuilds.
+  std::vector<tenant_lane> views;
+  views.reserve(lanes_.size());
+  for (std::uint32_t tenant = 0; tenant < lanes_.size(); ++tenant) {
+    if (!lanes_[tenant].queue.empty()) {
+      views.push_back(tenant_lane{tenant, lanes_[tenant].weight,
+                                  lanes_[tenant].queue.size(),
+                                  lanes_[tenant].serviced});
+    }
+  }
+  while (meta.size() < budget && !views.empty()) {
+    const std::size_t choice = policy_->pick(views);
+    invariant(choice < views.size(), "fairness policy picked no lane");
+    lane& source = lanes_[views[choice].tenant];
+    queued_request entry = std::move(source.queue.front());
+    source.queue.pop_front();
+    virtual_pass_ = std::max(
+        virtual_pass_,
+        (static_cast<double>(source.serviced) + 1.0) / source.weight);
+    ++source.serviced;
+    --queued_total_;
+    meta.push_back(picked_meta{views[choice].tenant, entry.seq,
+                               entry.submitted});
+    batch.push_back(std::move(entry.req));
+    if (--views[choice].queued == 0) {
+      views.erase(views.begin() + static_cast<std::ptrdiff_t>(choice));
+    } else {
+      ++views[choice].serviced;
+    }
+  }
+
+  std::vector<request_result> results;
+  controller_.run(batch, &results);
+
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    const sim::sim_time latency =
+        results[i].completion_time - meta[i].submitted;
+    tenant_stats& ts = lanes_[meta[i].tenant].stats;
+    ++ts.completed;
+    ts.total_latency += latency;
+    ts.max_latency = std::max(ts.max_latency, latency);
+    if (on_complete) {
+      on_complete(meta[i].tenant, meta[i].seq, std::move(results[i]),
+                  latency);
+    }
+  }
+  return true;
+}
+
+void tenant_scheduler::run_until_idle(const completion& on_complete) {
+  while (step(on_complete)) {
+  }
+}
+
+std::size_t tenant_scheduler::queued(std::uint32_t tenant) const {
+  expects(tenant < lanes_.size(), "queued() for unknown tenant");
+  return lanes_[tenant].queue.size();
+}
+
+tenant_stats tenant_scheduler::stats(std::uint32_t tenant) const {
+  expects(tenant < lanes_.size(), "stats() for unknown tenant");
+  tenant_stats snapshot = lanes_[tenant].stats;
+  snapshot.queued = lanes_[tenant].queue.size();
+  const sim::sim_time elapsed = controller_.now() - stats_epoch_;
+  snapshot.throughput =
+      elapsed > 0 ? static_cast<double>(snapshot.completed) * 1e9 /
+                        static_cast<double>(elapsed)
+                  : 0.0;
+  return snapshot;
+}
+
+void tenant_scheduler::reset_stats() {
+  for (std::uint32_t tenant = 0; tenant < lanes_.size(); ++tenant) {
+    lane& l = lanes_[tenant];
+    l.stats = tenant_stats{};
+    l.stats.tenant = tenant;
+    l.stats.weight = l.weight;
+    // Requests still queued stay admitted and will complete after the
+    // reset; count them as submitted in the new epoch.
+    l.stats.submitted = l.queue.size();
+  }
+  stats_epoch_ = controller_.now();
+}
+
+// ------------------------------------------------ multi_user_frontend
 
 void multi_user_frontend::grant(std::uint32_t user, user_grant grant) {
   expects(grant.first <= grant.last, "grant range must be ordered");
@@ -13,70 +187,42 @@ void multi_user_frontend::grant(std::uint32_t user, user_grant grant) {
 
 multi_user_summary multi_user_frontend::run(
     std::vector<std::vector<request>> per_user) {
+  tenant_scheduler sched(controller_,
+                         make_fairness_policy(fairness_kind::round_robin));
+  for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+    sched.add_tenant();
+    const auto it = grants_.find(user);
+    if (it != grants_.end()) {
+      sched.grant(user, it->second);
+    }
+  }
+
+  // Admission happens before any scheduling round runs, so a grant
+  // violation is thrown before anything reaches the ORAM (no trace) and
+  // every request's latency is measured from the common batch start.
+  const sim::sim_time start = controller_.now();
+  for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+    for (request& req : per_user[user]) {
+      sched.enqueue(user, std::move(req));
+    }
+  }
+  sched.run_until_idle();
+
   multi_user_summary summary;
   summary.users.resize(per_user.size());
-
-  // Access control happens before scheduling: a denied request leaves
-  // no observable trace.
+  std::uint64_t total = 0;
   for (std::uint32_t user = 0; user < per_user.size(); ++user) {
-    const auto it = grants_.find(user);
-    if (it == grants_.end()) {
-      continue;
-    }
-    for (const request& req : per_user[user]) {
-      if (!it->second.allows(req.id)) {
-        throw access_denied(user, req.id);
-      }
-    }
-  }
-
-  // Round-robin interleave: one request per user per round, skipping
-  // exhausted queues (fair service order; §5.3.2's access control hook).
-  std::vector<request> merged;
-  std::vector<std::size_t> cursors(per_user.size(), 0);
-  std::size_t remaining = 0;
-  for (const auto& queue : per_user) {
-    remaining += queue.size();
-  }
-  merged.reserve(remaining);
-  while (remaining > 0) {
-    for (std::uint32_t user = 0; user < per_user.size(); ++user) {
-      if (cursors[user] < per_user[user].size()) {
-        request req = per_user[user][cursors[user]++];
-        req.user = user;
-        merged.push_back(std::move(req));
-        --remaining;
-      }
-    }
-  }
-
-  const sim::sim_time start = controller_.now();
-  std::vector<request_result> results;
-  controller_.run(merged, &results);
-  summary.makespan = controller_.now() - start;
-
-  // Latency = completion - batch start (all requests are queued
-  // up-front; an arrival-time model would subtract arrivals instead).
-  std::vector<sim::sim_time> total_latency(per_user.size(), 0);
-  for (std::size_t i = 0; i < merged.size(); ++i) {
-    const std::uint32_t user = merged[i].user;
-    const sim::sim_time latency = results[i].completion_time - start;
-    total_latency[user] += latency;
-    summary.users[user].max_latency =
-        std::max(summary.users[user].max_latency, latency);
-    ++summary.users[user].requests;
-  }
-  for (std::uint32_t user = 0; user < per_user.size(); ++user) {
+    const tenant_stats ts = sched.stats(user);
     summary.users[user].user = user;
-    if (summary.users[user].requests > 0) {
-      summary.users[user].mean_latency =
-          total_latency[user] /
-          static_cast<sim::sim_time>(summary.users[user].requests);
-    }
+    summary.users[user].requests = ts.completed;
+    summary.users[user].mean_latency = ts.mean_latency();
+    summary.users[user].max_latency = ts.max_latency;
+    total += ts.completed;
   }
+  summary.makespan = controller_.now() - start;
   summary.throughput =
       summary.makespan > 0
-          ? static_cast<double>(merged.size()) * 1e9 /
+          ? static_cast<double>(total) * 1e9 /
                 static_cast<double>(summary.makespan)
           : 0.0;
   return summary;

@@ -45,6 +45,10 @@ std::uint64_t scheduler::window(std::uint64_t loads_done) const {
          1;
 }
 
+std::uint64_t scheduler::round_budget(std::uint64_t loads_done) const {
+  return 2 * window(loads_done) + 4;
+}
+
 cycle_plan scheduler::plan(
     const rob_table& rob, std::uint64_t loads_done,
     const std::function<oram::block_id(std::uint64_t)>& id_of_request,

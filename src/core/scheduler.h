@@ -49,6 +49,13 @@ class scheduler {
   /// Prefetch window d for the active stage (always > c).
   [[nodiscard]] std::uint64_t window(std::uint64_t loads_done) const;
 
+  /// How many requests an incremental pump (tenant_scheduler /
+  /// horam::service) should hand the controller per scheduling round:
+  /// enough to keep the ROB ahead of the prefetch window (mirrors the
+  /// controller's own refill target) while staying small enough that
+  /// cross-tenant interleaving happens at request granularity.
+  [[nodiscard]] std::uint64_t round_budget(std::uint64_t loads_done) const;
+
   /// Plans one cycle. `resident(id)` tells whether a block can be
   /// serviced from memory; non-resident blocks are miss candidates.
   [[nodiscard]] cycle_plan plan(

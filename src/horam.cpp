@@ -129,6 +129,12 @@ const controller_stats& client::stats() const noexcept {
   return state_->ctrl->stats();
 }
 
+void client::reset_stats() noexcept {
+  state_->ctrl->reset_stats();
+  state_->storage.reset_stats();
+  state_->memory.reset_stats();
+}
+
 sim::sim_time client::now() const noexcept { return state_->ctrl->now(); }
 
 const horam_config& client::config() const noexcept {
@@ -261,6 +267,28 @@ client_builder& client_builder::config_tweak(
   return *this;
 }
 
+client_builder& client_builder::fairness(fairness_kind kind) {
+  service_.policy = kind;
+  service_.custom_policy = nullptr;
+  return *this;
+}
+
+client_builder& client_builder::fairness(std::string_view name) {
+  return fairness(fairness_by_name(name));
+}
+
+client_builder& client_builder::fairness(
+    std::function<std::unique_ptr<fairness_policy>()> factory) {
+  expects(factory != nullptr, "fairness factory must not be null");
+  service_.custom_policy = std::move(factory);
+  return *this;
+}
+
+client_builder& client_builder::max_queue_depth(std::size_t depth) {
+  service_.max_queue_depth = depth;
+  return *this;
+}
+
 client client_builder::build() const {
   horam_config config = config_;
   if (cache_ratio_ > 0.0) {
@@ -273,6 +301,20 @@ client client_builder::build() const {
   if (tweak_) {
     tweak_(config);
   }
+  // Per-setter diagnostics before the generic config validation, so an
+  // incomplete builder names the call that is missing rather than the
+  // derived invariant it broke.
+  expects(config.block_count > 0, "client_builder: blocks() not set");
+  expects(config.payload_bytes > 0,
+          "client_builder: payload_bytes() not set");
+  expects(config.memory_blocks > 0,
+          "client_builder: memory_blocks() or cache_ratio() not set");
+  expects(config.memory_blocks >= 2 * config.bucket_size,
+          "client_builder: memory_blocks() must hold at least one bucket "
+          "pair (2 * bucket_size())");
+  expects(config.memory_blocks / 2 < config.block_count,
+          "client_builder: memory_blocks() must be well below blocks() — "
+          "memory as large as the dataset needs no storage layer");
   config.validate();
 
   auto state = std::make_unique<client::machine_state>(
@@ -289,6 +331,168 @@ client client_builder::build() const {
                                              state->memory, state->cpu,
                                              state->rng, trace_ptr);
   return client(std::move(state), kind_);
+}
+
+service client_builder::build_service() const {
+  return service(build(), service_);
+}
+
+// ------------------------------------------------------- service layer
+
+/// Completion slot one ticket points at. The owning impl is held weakly
+/// so dropping every service/session handle while requests are in
+/// flight cannot leak the machine through a reference cycle.
+struct ticket::state {
+  std::uint64_t seq = 0;
+  std::uint32_t tenant = 0;
+  bool done = false;
+  ticket_result result;
+  std::weak_ptr<service::impl> owner;
+};
+
+struct service::impl {
+  client oram;
+  tenant_scheduler sched;
+  /// Tickets awaiting completion, by sequence number.
+  std::unordered_map<std::uint64_t, std::shared_ptr<ticket::state>>
+      inflight;
+
+  impl(client&& machine, service_config config)
+      : oram(std::move(machine)),
+        // The controller lives on the heap behind machine_state, so the
+        // reference stays valid across the client move above.
+        sched(oram.ctrl(),
+              config.custom_policy
+                  ? config.custom_policy()
+                  : make_fairness_policy(config.policy),
+              config.max_queue_depth) {}
+
+  bool step() {
+    return sched.step([this](std::uint32_t /*tenant*/, std::uint64_t seq,
+                             request_result&& result,
+                             sim::sim_time latency) {
+      const auto it = inflight.find(seq);
+      invariant(it != inflight.end(), "completion for unknown ticket");
+      ticket::state& slot = *it->second;
+      slot.result.payload = std::move(result.read_data);
+      slot.result.latency = latency;
+      slot.result.sim_time = result.completion_time;
+      slot.result.hit = result.hit;
+      slot.done = true;
+      inflight.erase(it);
+    });
+  }
+};
+
+service::service(client&& oram, service_config config)
+    : impl_(std::make_shared<impl>(std::move(oram), std::move(config))) {}
+
+session service::open_session(double weight) {
+  const std::uint32_t tenant = impl_->sched.add_tenant(weight);
+  return session(impl_, tenant);
+}
+
+void service::grant(std::uint32_t tenant, user_grant grant) {
+  impl_->sched.grant(tenant, grant);
+}
+
+bool service::step() { return impl_->step(); }
+
+void service::run_until_idle() {
+  while (impl_->step()) {
+  }
+}
+
+bool service::idle() const { return impl_->sched.idle(); }
+
+std::size_t service::pending() const { return impl_->sched.queued(); }
+
+tenant_stats service::tenant_stats(std::uint32_t tenant) const {
+  return impl_->sched.stats(tenant);
+}
+
+std::size_t service::tenant_count() const {
+  return impl_->sched.tenant_count();
+}
+
+void service::reset_stats() {
+  impl_->sched.reset_stats();
+  impl_->oram.reset_stats();
+}
+
+const controller_stats& service::stats() const noexcept {
+  return impl_->oram.stats();
+}
+
+sim::sim_time service::now() const noexcept { return impl_->oram.now(); }
+
+const horam_config& service::config() const noexcept {
+  return impl_->oram.config();
+}
+
+std::string_view service::policy_name() const {
+  return impl_->sched.policy().name();
+}
+
+client& service::underlying() noexcept { return impl_->oram; }
+
+const client& service::underlying() const noexcept { return impl_->oram; }
+
+ticket session::admit(request req) {
+  auto slot = std::make_shared<ticket::state>();
+  slot->tenant = tenant_;
+  slot->owner = impl_;
+  // enqueue() throws (access_denied / queue_overflow / contract_error)
+  // before queueing, in which case no ticket escapes.
+  slot->seq = impl_->sched.enqueue(tenant_, std::move(req));
+  impl_->inflight.emplace(slot->seq, slot);
+  return ticket(std::move(slot));
+}
+
+ticket session::async_read(oram::block_id id) {
+  request req;
+  req.op = oram::op_kind::read;
+  req.id = id;
+  return admit(std::move(req));
+}
+
+ticket session::async_write(oram::block_id id,
+                            std::span<const std::uint8_t> data) {
+  request req;
+  req.op = oram::op_kind::write;
+  req.id = id;
+  req.write_data.assign(data.begin(), data.end());
+  return admit(std::move(req));
+}
+
+std::size_t session::pending() const {
+  return impl_->sched.queued(tenant_);
+}
+
+tenant_stats session::stats() const { return impl_->sched.stats(tenant_); }
+
+std::uint64_t ticket::id() const {
+  expects(state_ != nullptr, "empty ticket");
+  return state_->seq;
+}
+
+std::uint32_t ticket::tenant() const {
+  expects(state_ != nullptr, "empty ticket");
+  return state_->tenant;
+}
+
+bool ticket::ready() const noexcept {
+  return state_ != nullptr && state_->done;
+}
+
+const ticket_result& ticket::result() {
+  expects(state_ != nullptr, "empty ticket");
+  while (!state_->done) {
+    const std::shared_ptr<service::impl> impl = state_->owner.lock();
+    expects(impl != nullptr, "ticket outlived its service");
+    invariant(impl->step(), "service idle with an unfinished ticket");
+  }
+  return state_->result;
 }
 
 }  // namespace horam

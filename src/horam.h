@@ -18,15 +18,36 @@
 // top. The resulting client owns everything, so callers never juggle
 // device lifetimes by hand.
 //
-// Layering (Figure 4-1 of the paper):
+// Multi-tenant deployments use build_service() instead: the service
+// owns the client and exposes per-tenant session handles whose
+// async_read / async_write return future-style tickets; step() /
+// run_until_idle() pump the scheduler, interleaving the pending
+// requests across tenants under a pluggable fairness policy
+// (round-robin or weighted-share), with access-control grants,
+// per-tenant stats and an admission-queue depth limit at the facade:
 //
-//   application ──► client (this facade)
-//                     └─► controller      — cache tree + ROB + scheduler
-//                           └─► oram_backend — pluggable oblivious store
-//                                 ├─ partitioned (H-ORAM §4.1.3, default)
-//                                 ├─ sqrt        (Goldreich-Ostrovsky)
-//                                 └─ partition   (Stefanov et al.)
-//                                       └─► sim::block_device profiles
+//   horam::service svc = horam::client_builder()
+//                            .blocks(1 << 16)
+//                            .payload_bytes(64)
+//                            .cache_ratio(0.125)
+//                            .fairness(horam::fairness_kind::round_robin)
+//                            .build_service();
+//   horam::session alice = svc.open_session();
+//   horam::ticket t = alice.async_read(1234);
+//   svc.run_until_idle();              // or: t.result() pumps for you
+//   const horam::ticket_result& r = t.result();  // payload, latency
+//
+// Layering (Figure 4-1 of the paper, plus the service layer):
+//
+//   application ──► service / sessions (async multi-tenant API:
+//                     │                 tickets, fairness, grants)
+//                     └─► client (this facade)
+//                           └─► controller  — cache tree + ROB + scheduler
+//                                 └─► oram_backend — pluggable store
+//                                       ├─ partitioned (§4.1.3, default)
+//                                       ├─ sqrt        (Goldreich-Ostrovsky)
+//                                       └─ partition   (Stefanov et al.)
+//                                             └─► sim::block_device
 #ifndef HORAM_HORAM_H
 #define HORAM_HORAM_H
 
@@ -39,6 +60,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/fairness.h"
 #include "core/multi_user.h"
 #include "core/oram_backend.h"
 #include "oram/partition/partition_backend.h"
@@ -104,6 +126,9 @@ class client {
 
   // --- Introspection. ---
   [[nodiscard]] const controller_stats& stats() const noexcept;
+  /// Zeroes the controller and device counters (benches exclude
+  /// warm-up); virtual time keeps running.
+  void reset_stats() noexcept;
   [[nodiscard]] sim::sim_time now() const noexcept;
   [[nodiscard]] const horam_config& config() const noexcept;
   [[nodiscard]] backend_kind kind() const noexcept { return kind_; }
@@ -128,6 +153,19 @@ class client {
 
   std::unique_ptr<machine_state> state_;
   backend_kind kind_ = backend_kind::partitioned;
+};
+
+class service;
+
+/// Service-layer tuning knobs (client_builder::build_service()).
+struct service_config {
+  /// Cross-tenant scheduling policy (ignored when custom_policy set).
+  fairness_kind policy = fairness_kind::round_robin;
+  /// Factory for a custom fairness policy (full pluggability).
+  std::function<std::unique_ptr<fairness_policy>()> custom_policy;
+  /// Max admitted-but-unserviced requests per tenant; async_read /
+  /// async_write throw queue_overflow beyond it (0 = unlimited).
+  std::size_t max_queue_depth = 0;
 };
 
 /// Fluent builder for client instances. Every setter has a sensible
@@ -179,12 +217,30 @@ class client_builder {
   /// (ablation benches tweaking fields the builder does not expose).
   client_builder& config_tweak(std::function<void(horam_config&)> tweak);
 
+  // --- Service-layer knobs (build_service()). ---
+  /// Cross-tenant fairness policy (default: round-robin).
+  client_builder& fairness(fairness_kind kind);
+  /// Policy by name ("round-robin" | "weighted-share"), for configs
+  /// and CLIs; throws contract_error on unknown names.
+  client_builder& fairness(std::string_view name);
+  /// Custom fairness policy: the factory is invoked once per service.
+  client_builder& fairness(
+      std::function<std::unique_ptr<fairness_policy>()> factory);
+  /// Per-tenant admission-queue depth limit (0 = unlimited).
+  client_builder& max_queue_depth(std::size_t depth);
+
   /// Assembles the machine and returns the ready client. Throws
-  /// contract_error when the configuration is invalid.
+  /// contract_error naming the missing/invalid setter when the
+  /// configuration is incomplete.
   [[nodiscard]] client build() const;
+
+  /// Assembles the machine and wraps it in the asynchronous
+  /// multi-tenant service layer.
+  [[nodiscard]] service build_service() const;
 
  private:
   horam_config config_{};
+  service_config service_{};
   double cache_ratio_ = 0.0;  // 0 = use config_.memory_blocks
   backend_kind kind_ = backend_kind::partitioned;
   sim::device_profile storage_profile_ = sim::hdd_paper();
@@ -194,6 +250,139 @@ class client_builder {
   bool trace_ = false;
   std::function<void(oram::block_id, std::span<std::uint8_t>)> filler_;
   std::function<void(horam_config&)> tweak_;
+};
+
+// ------------------------------------------------------- service layer
+
+/// Outcome of one completed service request.
+struct ticket_result {
+  /// Read payload (empty for writes).
+  std::vector<std::uint8_t> payload;
+  /// Simulated latency: completion minus submission (queueing counts).
+  sim::sim_time latency = 0;
+  /// Virtual timestamp at which the request completed.
+  sim::sim_time sim_time = 0;
+  /// Control-layer knowledge: memory-resident when first scheduled
+  /// (never observable on the bus).
+  bool hit = false;
+};
+
+/// Future-style handle for one admitted request. Lightweight and
+/// copyable; survives its session handle, but observes the service
+/// weakly — result() on an unfinished ticket throws once every
+/// service/session handle is gone (so stray tickets cannot keep the
+/// whole machine alive).
+class ticket {
+ public:
+  ticket() = default;
+
+  /// False for default-constructed tickets only.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// Service-wide request sequence number.
+  [[nodiscard]] std::uint64_t id() const;
+  /// The tenant that submitted the request.
+  [[nodiscard]] std::uint32_t tenant() const;
+  /// True once the request has completed (result() will not pump).
+  [[nodiscard]] bool ready() const noexcept;
+  /// Blocking get: pumps service.step() until this request completes,
+  /// then returns the payload / latency / completion sim_time. Throws
+  /// contract_error on empty tickets or when the service is gone.
+  [[nodiscard]] const ticket_result& result();
+
+ private:
+  friend class service;
+  friend class session;
+  struct state;
+  explicit ticket(std::shared_ptr<state> s) : state_(std::move(s)) {}
+  std::shared_ptr<state> state_;
+};
+
+class session;
+
+/// Asynchronous multi-tenant service over one client: per-tenant
+/// sessions admit requests (validated against grants and the
+/// queue-depth limit immediately, so rejection is trace-free), and
+/// step() / run_until_idle() pump the scheduler, interleaving pending
+/// requests across tenants under the configured fairness policy.
+/// Service and session handles share ownership of the underlying
+/// machine (tickets hold it weakly); copying a service is cheap and
+/// aliases the same instance.
+class service {
+ public:
+  /// Wraps a ready client. Usually spelled client_builder::
+  /// build_service(); direct construction suits tests that prepared
+  /// the client separately.
+  explicit service(client&& oram, service_config config = {});
+
+  /// Registers a tenant with relative share weight `weight` (> 0,
+  /// used by weighted-share) and returns its session handle.
+  [[nodiscard]] session open_session(double weight = 1.0);
+
+  /// Restricts `tenant` to `grant` from now on. Admission-time checks
+  /// mean a denied request never reaches the ORAM.
+  void grant(std::uint32_t tenant, user_grant grant);
+
+  /// Serves one scheduling round; returns false (doing nothing) when
+  /// no request is pending.
+  bool step();
+  /// Pumps step() until every tenant queue is drained.
+  void run_until_idle();
+  [[nodiscard]] bool idle() const;
+  /// Admitted-but-unserviced requests across all tenants.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Per-tenant counters since the last reset_stats().
+  [[nodiscard]] horam::tenant_stats tenant_stats(
+      std::uint32_t tenant) const;
+  [[nodiscard]] std::size_t tenant_count() const;
+  /// Zeroes per-tenant and controller/device counters (warm-up
+  /// exclusion); in-flight requests stay admitted.
+  void reset_stats();
+
+  // --- Introspection (aggregate, forwarded to the client). ---
+  [[nodiscard]] const controller_stats& stats() const noexcept;
+  [[nodiscard]] sim::sim_time now() const noexcept;
+  [[nodiscard]] const horam_config& config() const noexcept;
+  [[nodiscard]] std::string_view policy_name() const;
+  /// The wrapped client (trace access, geometry-aware audits).
+  [[nodiscard]] client& underlying() noexcept;
+  [[nodiscard]] const client& underlying() const noexcept;
+
+ private:
+  friend class session;
+  friend class ticket;
+  struct impl;
+  std::shared_ptr<impl> impl_;
+};
+
+/// Per-tenant handle onto a service: submits asynchronous reads and
+/// writes, returning tickets. Copyable; all copies refer to the same
+/// tenant and keep the service alive.
+class session {
+ public:
+  session() = delete;
+
+  /// Admits a read; throws access_denied / queue_overflow /
+  /// contract_error before anything is queued.
+  [[nodiscard]] ticket async_read(oram::block_id id);
+  /// Admits a write of `data` (padded/truncated to the payload size).
+  [[nodiscard]] ticket async_write(oram::block_id id,
+                                   std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint32_t tenant() const noexcept { return tenant_; }
+  /// This tenant's admitted-but-unserviced request count.
+  [[nodiscard]] std::size_t pending() const;
+  /// This tenant's counters since the last service reset_stats().
+  [[nodiscard]] horam::tenant_stats stats() const;
+
+ private:
+  friend class service;
+  session(std::shared_ptr<service::impl> impl, std::uint32_t tenant)
+      : impl_(std::move(impl)), tenant_(tenant) {}
+  [[nodiscard]] ticket admit(request req);
+
+  std::shared_ptr<service::impl> impl_;
+  std::uint32_t tenant_ = 0;
 };
 
 }  // namespace horam
