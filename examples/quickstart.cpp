@@ -56,9 +56,10 @@ int main() {
   std::printf("session drain serviced %zu streamed requests\n",
               session_results.size());
 
-  // --- 4. Backend comparison: the paper's hotspot workload through the
-  // partitioned H-ORAM store and the sqrt-ORAM store. Everything other
-  // than the backend() call is identical. ---
+  // --- 4. Backend comparison: the paper's hotspot workload through all
+  // four oblivious stores (H-ORAM's partitioned layer, sqrt ORAM,
+  // partition ORAM, Path ORAM with a recursive position map).
+  // Everything other than the backend() call is identical. ---
   const auto measure = [](backend_kind kind) {
     client c = client_builder()
                    .blocks(16384)
@@ -82,8 +83,10 @@ int main() {
     return c;
   };
 
-  client partitioned = measure(backend_kind::partitioned);
-  client sqrt_store = measure(backend_kind::sqrt);
+  std::vector<client> stores;
+  for (const backend_kind kind : all_backend_kinds) {
+    stores.push_back(measure(kind));
+  }
 
   const auto row_for = [](const client& c, const std::string& metric) {
     const controller_stats& stats = c.stats();
@@ -109,9 +112,13 @@ int main() {
     return util::format_time_ns(stats.total_time);
   };
 
-  std::printf("\nsame workload, two oblivious stores "
+  std::printf("\nsame workload, four oblivious stores "
               "(one .backend(...) call apart):\n");
-  util::text_table table({"Metric", "partitioned (H-ORAM)", "sqrt ORAM"});
+  std::vector<std::string> header = {"Metric"};
+  for (const client& c : stores) {
+    header.emplace_back(c.backend().name());
+  }
+  util::text_table table(header);
   for (const auto& [metric, label] :
        {std::pair<const char*, const char*>{"loads", "I/O accesses"},
         {"hit", "Hit rate"},
@@ -119,15 +126,22 @@ int main() {
         {"shuffle", "Shuffle time"},
         {"storage", "Physical storage"},
         {"total", "Total virtual time"}}) {
-    table.add_row({label, row_for(partitioned, metric),
-                   row_for(sqrt_store, metric)});
+    std::vector<std::string> row = {label};
+    for (const client& c : stores) {
+      row.push_back(row_for(c, metric));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
 
-  const double speedup =
-      static_cast<double>(sqrt_store.stats().total_time) /
-      static_cast<double>(partitioned.stats().total_time);
-  std::printf("partitioned backend speedup over sqrt reshuffling: %sx\n",
-              util::format_double(speedup, 1).c_str());
+  const client& partitioned = stores.front();
+  for (std::size_t k = 1; k < stores.size(); ++k) {
+    const double speedup =
+        static_cast<double>(stores[k].stats().total_time) /
+        static_cast<double>(partitioned.stats().total_time);
+    std::printf("partitioned backend speedup over %s: %sx\n",
+                std::string(stores[k].backend().name()).c_str(),
+                util::format_double(speedup, 1).c_str());
+  }
   return 0;
 }

@@ -66,6 +66,15 @@ struct horam_config {
 
   shuffle_policy shuffle = shuffle_policy::foreground;
 
+  /// Recursive position map of the path backend: leaf labels packed
+  /// into one map block (the compression factor per recursion level).
+  std::uint64_t map_entries_per_block = 64;
+  /// Stop recursing once a map level's entry count is at or below this;
+  /// the residue is held as a plain trusted-memory vector. Small values
+  /// force deep recursion (tests); large values approximate the paper's
+  /// flat 8-bytes-per-block map.
+  std::uint64_t map_direct_threshold = 1024;
+
   /// Real sealing (tests) vs plaintext records with modelled crypto
   /// time (large benches).
   bool seal = true;
@@ -96,6 +105,10 @@ struct horam_config {
     expects(prefetch_factor >= 1, "prefetch window must cover the group");
     expects(partition_slack >= 1.0, "partition slack below 1 cannot fit");
     expects(shuffle_every_periods >= 1, "shuffle cadence must be >= 1");
+    expects(map_entries_per_block >= 2,
+            "map recursion needs at least two entries per block");
+    expects(map_direct_threshold >= 1,
+            "map direct threshold must be positive");
   }
 };
 

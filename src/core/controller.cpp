@@ -171,9 +171,11 @@ void controller::run(std::span<const request> requests,
     }
 
     // Lanes overlap (§4.1: "the I/O loads and in-memory reads are
-    // conducted simultaneously"); the cycle lasts the slower lane.
+    // conducted simultaneously"); the cycle lasts the slower lane. A
+    // load's memory time (e.g. the path backend's recursive-map walk)
+    // is serial with its storage access, so it extends the I/O lane.
     const sim::sim_time io_lane =
-        load.cost.io + load.cost.cpu + install_cost.cpu;
+        load.cost.io + load.cost.memory + load.cost.cpu + install_cost.cpu;
     const sim::sim_time memory_lane =
         memory_cost.memory + memory_cost.cpu;
     const sim::sim_time cycle_time = std::max(io_lane, memory_lane);
@@ -189,7 +191,7 @@ void controller::run(std::span<const request> requests,
     stats_.access_time += cycle_time;
     stats_.io_busy += load.cost.io;
     stats_.io_load_time += load.cost.io;
-    stats_.memory_busy += memory_cost.memory;
+    stats_.memory_busy += memory_cost.memory + load.cost.memory;
     stats_.cpu_busy += load.cost.cpu + memory_cost.cpu + install_cost.cpu;
 
     // Retire serviced requests (descending positions keep indices valid).

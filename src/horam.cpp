@@ -11,6 +11,7 @@ std::string_view backend_name(backend_kind kind) {
     case backend_kind::partitioned: return "partitioned";
     case backend_kind::sqrt: return "sqrt";
     case backend_kind::partition: return "partition";
+    case backend_kind::path: return "path";
   }
   return "?";
 }
@@ -25,7 +26,11 @@ backend_kind backend_by_name(std::string_view name) {
   if (name == "partition") {
     return backend_kind::partition;
   }
-  expects(false, "unknown backend name (partitioned | sqrt | partition)");
+  if (name == "path" || name == "path-oram") {
+    return backend_kind::path;
+  }
+  expects(false,
+          "unknown backend name (partitioned | sqrt | partition | path)");
   return backend_kind::partitioned;
 }
 
@@ -51,7 +56,8 @@ std::unique_ptr<oram_backend> make_backend(
     sim::block_device& device, const sim::cpu_model& cpu,
     util::random_source& rng, oram::access_trace* trace,
     const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
-        filler) {
+        filler,
+    sim::block_device* map_device) {
   switch (kind) {
     case backend_kind::partitioned:
       return std::make_unique<storage_layer>(config, device, cpu, rng,
@@ -62,6 +68,9 @@ std::unique_ptr<oram_backend> make_backend(
     case backend_kind::partition:
       return std::make_unique<oram::partition_backend>(config, device, cpu,
                                                        rng, trace, filler);
+    case backend_kind::path:
+      return std::make_unique<oram::path_backend>(config, device, cpu, rng,
+                                                  trace, filler, map_device);
   }
   expects(false, "unknown backend kind");
   return nullptr;
@@ -326,7 +335,7 @@ client client_builder::build() const {
 
   std::unique_ptr<oram_backend> backend =
       make_backend(kind_, config, state->storage, state->cpu, state->rng,
-                   trace_ptr, filler_ptr);
+                   trace_ptr, filler_ptr, &state->memory);
   state->ctrl = std::make_unique<controller>(config, std::move(backend),
                                              state->memory, state->cpu,
                                              state->rng, trace_ptr);

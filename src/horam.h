@@ -46,7 +46,9 @@
 //                                 └─► oram_backend — pluggable store
 //                                       ├─ partitioned (§4.1.3, default)
 //                                       ├─ sqrt        (Goldreich-Ostrovsky)
-//                                       └─ partition   (Stefanov et al.)
+//                                       ├─ partition   (Stefanov et al.)
+//                                       └─ path        (Path ORAM +
+//                                             │         recursive map)
 //                                             └─► sim::block_device
 #ifndef HORAM_HORAM_H
 #define HORAM_HORAM_H
@@ -64,6 +66,7 @@
 #include "core/multi_user.h"
 #include "core/oram_backend.h"
 #include "oram/partition/partition_backend.h"
+#include "oram/path/path_backend.h"
 #include "oram/sqrt/sqrt_backend.h"
 #include "sim/profiles.h"
 #include "workload/generators.h"
@@ -78,9 +81,19 @@ enum class backend_kind : std::uint8_t {
   sqrt,
   /// Partition ORAM with isolated per-partition shuffles (§2.1.4).
   partition,
+  /// Path ORAM tree with a recursive position map (Stefanov et al.,
+  /// "Path ORAM: An Extremely Simple Oblivious RAM Protocol").
+  path,
 };
 
-/// Human-readable backend name ("partitioned" / "sqrt" / "partition").
+/// Every selectable backend, in presentation order (comparison tables,
+/// parameterised tests).
+inline constexpr backend_kind all_backend_kinds[] = {
+    backend_kind::partitioned, backend_kind::sqrt, backend_kind::partition,
+    backend_kind::path};
+
+/// Human-readable backend name
+/// ("partitioned" / "sqrt" / "partition" / "path").
 [[nodiscard]] std::string_view backend_name(backend_kind kind);
 
 /// Parses a backend name; throws contract_error on unknown names.
@@ -92,13 +105,17 @@ enum class backend_kind : std::uint8_t {
     std::string_view name);
 
 /// Constructs one of the pluggable backends on `device`. Used by the
-/// builder; also handy for tests that drive a backend directly.
+/// builder; also handy for tests that drive a backend directly. The
+/// path backend places its recursive position-map chain on
+/// `map_device` (null = share `device`; the builder passes the
+/// machine's memory device); other kinds ignore it.
 [[nodiscard]] std::unique_ptr<oram_backend> make_backend(
     backend_kind kind, const horam_config& config,
     sim::block_device& device, const sim::cpu_model& cpu,
     util::random_source& rng, oram::access_trace* trace,
     const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
-        filler);
+        filler,
+    sim::block_device* map_device = nullptr);
 
 /// A fully wired H-ORAM instance: devices, CPU, RNG, backend and
 /// controller, owned together. Move-only; build with client_builder.

@@ -28,7 +28,9 @@ enum class event_kind : std::uint8_t {
   memory_bucket_read,
   /// In-memory tree bucket written (a = bucket index).
   memory_bucket_write,
-  /// In-memory path access (a = leaf id); buckets follow as events.
+  /// In-memory path access (a = leaf id, b = the tree's leaf count —
+  /// distinguishes co-traced trees: cache tree, backend tree, map
+  /// chain); buckets follow as events.
   memory_path_access,
   /// Scheduler cycle boundary (a = cycle index, b = group size c).
   cycle_begin,

@@ -1,0 +1,219 @@
+#include "oram/path/path_backend.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+namespace {
+
+/// Smallest power-of-two leaf count following the ≤50%-utilisation
+/// convention (§2.1.2, bench/common.cpp's tree-top baseline): the tree
+/// holds ~2N block slots. Computed by doubling so the result is a
+/// power of two for every legal bucket size, not just powers of two.
+std::uint64_t backend_leaf_count(std::uint64_t block_count,
+                                 std::uint32_t bucket_size) {
+  std::uint64_t leaves = 1;
+  // capacity + Z = 2 * leaves * Z; stop once that reaches 2N.
+  while (2 * leaves * bucket_size < 2 * block_count) {
+    leaves *= 2;
+  }
+  return leaves;
+}
+
+}  // namespace
+
+path_backend::path_backend(
+    const horam_config& config, sim::block_device& device,
+    const sim::cpu_model& cpu, util::random_source& rng,
+    access_trace* trace,
+    const std::function<void(block_id, std::span<std::uint8_t>)>* filler,
+    sim::block_device* map_device)
+    : config_(config), cpu_(cpu), rng_(rng), trace_(trace) {
+  config_.validate();
+
+  path_oram_config tree_config;
+  tree_config.leaf_count =
+      backend_leaf_count(config_.block_count, config_.bucket_size);
+  tree_config.bucket_size = config_.bucket_size;
+  tree_config.payload_bytes = config_.payload_bytes;
+  tree_config.logical_block_bytes = config_.logical_block_bytes;
+  tree_config.id_universe = config_.block_count;
+  // Every level on the storage device: memory_levels = 0 leaves the
+  // memory store empty, so passing `device` for both lanes is inert.
+  tree_config.memory_levels = 0;
+  tree_config.seal = config_.seal;
+  tree_config.key_seed = config_.key_seed ^ 0x5061;  // "Pa"
+  tree_ = std::make_unique<path_oram>(tree_config, device, &device, cpu_,
+                                      rng_, trace_);
+  expects(tree_->capacity_blocks() >= config_.block_count,
+          "path backend tree cannot hold the dataset");
+
+  const std::function<void(block_id, std::span<std::uint8_t>)> zero_fill =
+      [](block_id, std::span<std::uint8_t>) {};
+  std::vector<leaf_id> leaves;
+  tree_->initialize_full(config_.block_count,
+                         filler != nullptr ? *filler : zero_fill, &leaves);
+
+  recursive_map_config map_config;
+  map_config.universe = config_.block_count;
+  map_config.entries_per_block = config_.map_entries_per_block;
+  map_config.direct_threshold = config_.map_direct_threshold;
+  map_config.bucket_size = config_.bucket_size;
+  map_config.seal = config_.seal;
+  map_config.key_seed = config_.key_seed ^ 0x5062;
+  map_ = std::make_unique<recursive_position_map>(
+      map_config, map_device != nullptr ? *map_device : device, cpu_, rng_,
+      trace_, leaves);
+
+  cached_.assign(config_.block_count, 0);
+  payload_scratch_.resize(config_.payload_bytes);
+  device.reset_stats();
+  if (map_device != nullptr) {
+    map_device->reset_stats();
+  }
+}
+
+bool path_backend::in_storage(block_id id) const {
+  expects(id < config_.block_count, "block id out of range");
+  return cached_[id] == 0;
+}
+
+oram_backend::load_result path_backend::load_block(block_id id) {
+  expects(in_storage(id), "block is not on storage");
+  load_result result;
+  ++stats_.real_loads;
+
+  // Walk the recursive map for the leaf, then verify it against the
+  // tree's own bookkeeping: the two must agree at every load.
+  std::optional<leaf_id> mapped;
+  result.cost += map_->lookup(id, mapped);
+  invariant(mapped.has_value(), "map lost a storage-resident block");
+  invariant(*mapped == tree_->leaf_of(id),
+            "recursive map disagrees with the tree's position map");
+
+  result.cost += tree_->extract(id, payload_scratch_);
+  result.id = id;
+  result.payload.assign(payload_scratch_.begin(), payload_scratch_.end());
+  cached_[id] = 1;
+  ++cached_count_;
+  return result;
+}
+
+oram_backend::load_result path_backend::dummy_load() {
+  load_result result;
+  ++stats_.dummy_loads;
+
+  // Cover traffic with the same bus shape as a real load: one map walk
+  // (of a uniformly random id, value discarded) + one dummy path
+  // access. Nothing is prefetched — a path read returns its blocks to
+  // the tree on write-back.
+  std::optional<leaf_id> ignored;
+  result.cost +=
+      map_->lookup(util::uniform_below(rng_, config_.block_count), ignored);
+  result.cost += tree_->dummy_access();
+  return result;
+}
+
+horam::shuffle_cost path_backend::shuffle_period(
+    std::vector<evicted_block> evicted, std::uint64_t period_index,
+    std::vector<evicted_block>& overflow_out) {
+  static_cast<void>(overflow_out);  // the stash shelters; never overflows
+  horam::shuffle_cost cost;
+  trace(trace_, event_kind::shuffle_begin, period_index);
+
+  // Fold the hot set back in: fresh uniform leaf per block, recorded in
+  // the recursive map and handed to the tree's stash.
+  for (evicted_block& block : evicted) {
+    expects(block.id < config_.block_count, "evicted id out of range");
+    invariant(cached_[block.id] != 0,
+              "evicted block the bitmap says is on storage");
+    const leaf_id leaf =
+        util::uniform_below(rng_, tree_->config().leaf_count);
+    const cost_split assign_cost = map_->assign(block.id, leaf);
+    const cost_split install_cost =
+        tree_->install(block.id, block.payload, leaf);
+    cost.memory += assign_cost.memory + install_cost.memory;
+    cost.cpu += assign_cost.cpu + install_cost.cpu;
+    cached_[block.id] = 0;
+    --cached_count_;
+  }
+
+  // Stash eviction: a burst of dummy accesses writes the stash back
+  // into the tree. The burst length is a function of the (public)
+  // eviction size only, with a bounded conditional tail so a stubborn
+  // stash still drains; whatever remains stays sheltered in the stash.
+  const std::uint64_t z = config_.bucket_size;
+  const std::uint64_t budget =
+      tree_->level_count() + 2 * util::ceil_div(evicted.size(), z);
+  const std::uint64_t drain_floor = 2 * z;
+  std::uint64_t extra = 4 * budget + 64;
+  last_drain_accesses_ = 0;
+  const auto drain_once = [&] {
+    const cost_split access_cost = tree_->dummy_access();
+    cost.io_read += access_cost.io / 2;
+    cost.io_write += access_cost.io - access_cost.io / 2;
+    cost.memory += access_cost.memory;
+    cost.cpu += access_cost.cpu;
+    ++last_drain_accesses_;
+  };
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    drain_once();
+  }
+  while (tree_->stash_ref().size() > drain_floor && extra-- > 0) {
+    drain_once();
+  }
+
+  ++stats_.partitions_shuffled;  // the one tree counts as one partition
+  return cost;
+}
+
+std::uint64_t path_backend::physical_bytes() const {
+  const std::uint64_t logical = config_.logical_block_bytes != 0
+                                    ? config_.logical_block_bytes
+                                    : tree_->record_bytes();
+  return tree_->capacity_blocks() * logical + map_->oram_bytes();
+}
+
+std::uint64_t path_backend::control_memory_bytes() const {
+  // Trusted state: the map residue, the stash, the residency bitmap.
+  return map_->trusted_bytes() +
+         tree_->stash_ref().size() *
+             (config_.payload_bytes + sizeof(stash_entry)) +
+         cached_.size();
+}
+
+void path_backend::check_consistency() const {
+  tree_->check_consistency();
+
+  invariant(cached_count_ <= config_.block_count, "cached counter overran");
+  std::uint64_t cached_blocks = 0;
+  for (block_id id = 0; id < config_.block_count; ++id) {
+    const bool cached = cached_[id] != 0;
+    invariant(cached != tree_->contains(id),
+              "residency bitmap disagrees with the tree");
+    cached_blocks += cached ? 1 : 0;
+  }
+  invariant(cached_blocks == cached_count_,
+            "cached counter out of sync with the bitmap");
+  invariant(tree_->resident_blocks() ==
+                config_.block_count - cached_count_,
+            "tree resident count disagrees with the bitmap");
+
+  // Every storage-resident block's map entry matches the tree's leaf
+  // (cached blocks may carry stale entries until re-install).
+  map_->for_each_assigned([&](block_id id, leaf_id leaf) {
+    invariant(id < config_.block_count, "map entry outside the universe");
+    if (cached_[id] != 0) {
+      return;
+    }
+    invariant(tree_->contains(id),
+              "map names a block the tree does not hold");
+    invariant(leaf == tree_->leaf_of(id),
+              "recursive map disagrees with the tree's position map");
+  });
+}
+
+}  // namespace horam::oram

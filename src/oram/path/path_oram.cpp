@@ -26,6 +26,7 @@ path_oram::path_oram(const path_oram_config& config,
       bucket_count_(2 * config.leaf_count - 1),
       memory_bucket_count_((std::uint64_t{1} << memory_levels_) - 1),
       codec_(config.payload_bytes, config.seal, config.key_seed),
+      memory_device_(memory_device),
       cpu_(cpu),
       rng_(rng),
       trace_(trace),
@@ -39,11 +40,14 @@ path_oram::path_oram(const path_oram_config& config,
                                       : codec_.record_bytes();
   expects(logical >= codec_.record_bytes(),
           "logical block smaller than the encoded record");
+  logical_bytes_ = logical;
 
-  memory_store_ = std::make_unique<storage::block_store>(
-      memory_device, /*base_offset=*/0,
-      memory_bucket_count_ * config.bucket_size, codec_.record_bytes(),
-      logical);
+  if (memory_bucket_count_ > 0) {
+    memory_store_ = std::make_unique<storage::block_store>(
+        memory_device, /*base_offset=*/0,
+        memory_bucket_count_ * config.bucket_size, codec_.record_bytes(),
+        logical);
+  }
   const std::uint64_t io_buckets = bucket_count_ - memory_bucket_count_;
   if (io_buckets > 0) {
     expects(io_device != nullptr,
@@ -111,9 +115,10 @@ cost_split path_oram::path_access(
     leaf_id leaf, block_id requested, op_kind op,
     std::span<const std::uint8_t> write_data,
     std::span<std::uint8_t> read_out,
-    const std::function<void(std::span<std::uint8_t>)>* updater) {
+    const std::function<void(std::span<std::uint8_t>)>* updater,
+    bool extract_requested) {
   cost_split cost;
-  trace(trace_, event_kind::memory_path_access, leaf);
+  trace(trace_, event_kind::memory_path_access, leaf, config_.leaf_count);
 
   const std::uint64_t z = config_.bucket_size;
   const std::size_t record_bytes = codec_.record_bytes();
@@ -162,6 +167,12 @@ cost_split path_oram::path_access(
     if (updater != nullptr) {
       (*updater)(std::span<std::uint8_t>(entry.payload.data(),
                                          entry.payload.size()));
+    }
+    if (extract_requested) {
+      // The live copy leaves the tree: drop it from the stash and the
+      // position map before the write-back re-places the path.
+      stash_.erase(requested);
+      positions_.remove(requested);
     }
   }
 
@@ -240,6 +251,21 @@ cost_split path_oram::access_rmw(
   return path_access(old_leaf, id, op_kind::read, {}, {}, &updater);
 }
 
+cost_split path_oram::extract(block_id id,
+                              std::span<std::uint8_t> read_out) {
+  expects(id < positions_.universe(), "block id outside the universe");
+  expects(positions_.contains(id), "extract of a non-resident block");
+  // No remap: the block leaves the tree, so its (about to be read) path
+  // is never correlated with a future access.
+  const leaf_id old_leaf = positions_.leaf_of(id);
+  ++stats_.real_accesses;
+  const cost_split cost = path_access(old_leaf, id, op_kind::read, {},
+                                      read_out, nullptr,
+                                      /*extract_requested=*/true);
+  --resident_;
+  return cost;
+}
+
 cost_split path_oram::dummy_access() {
   ++stats_.dummy_accesses;
   const leaf_id leaf = util::uniform_below(rng_, config_.leaf_count);
@@ -248,9 +274,15 @@ cost_split path_oram::dummy_access() {
 
 cost_split path_oram::install(block_id id,
                               std::span<const std::uint8_t> payload) {
+  return install(id, payload, util::uniform_below(rng_, config_.leaf_count));
+}
+
+cost_split path_oram::install(block_id id,
+                              std::span<const std::uint8_t> payload,
+                              leaf_id leaf) {
   expects(id < positions_.universe(), "block id outside the universe");
   expects(!positions_.contains(id), "block already resident");
-  const leaf_id leaf = util::uniform_below(rng_, config_.leaf_count);
+  expects(leaf < config_.leaf_count, "install leaf out of range");
   positions_.assign(id, leaf);
   stash_.put(id, leaf, payload);
   ++resident_;
@@ -292,7 +324,9 @@ cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
       }
     }
   };
-  sweep(*memory_store_, /*memory_lane=*/true);
+  if (memory_store_) {
+    sweep(*memory_store_, /*memory_lane=*/true);
+  }
   if (io_store_) {
     sweep(*io_store_, /*memory_lane=*/false);
   }
@@ -309,12 +343,11 @@ cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
   // memory once.
   const std::uint64_t total_slots = capacity_blocks();
   cost.cpu += cpu_.crypto_time(4 * total_slots, record_bytes);
-  const std::uint64_t sweep_bytes =
-      total_slots * memory_store_->logical_block_bytes();
-  cost.memory += memory_store_->device().read(0, sweep_bytes);
-  cost.memory += memory_store_->device().write(0, sweep_bytes);
-  cost.memory += memory_store_->device().read(0, sweep_bytes);
-  cost.memory += memory_store_->device().write(0, sweep_bytes);
+  const std::uint64_t sweep_bytes = total_slots * logical_bytes_;
+  cost.memory += memory_device_.read(0, sweep_bytes);
+  cost.memory += memory_device_.write(0, sweep_bytes);
+  cost.memory += memory_device_.read(0, sweep_bytes);
+  cost.memory += memory_device_.write(0, sweep_bytes);
 
   std::vector<std::uint64_t> order = util::random_permutation(
       rng_, static_cast<std::uint64_t>(out.size()));
@@ -330,6 +363,83 @@ cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
   stash_.clear();
   resident_ = 0;
   return cost;
+}
+
+void path_oram::for_each_resident(
+    const std::function<void(block_id, leaf_id,
+                             std::span<const std::uint8_t>)>& visit)
+    const {
+  std::vector<std::uint8_t> payload(config_.payload_bytes);
+  const auto scan = [&](const storage::block_store& store) {
+    for (std::uint64_t slot = 0; slot < store.slot_count(); ++slot) {
+      const block_id id = codec_.decode(store.peek(slot), payload);
+      if (id == dummy_block_id) {
+        continue;
+      }
+      visit(id, positions_.leaf_of(id), payload);
+    }
+  };
+  if (memory_store_) {
+    scan(*memory_store_);
+  }
+  if (io_store_) {
+    scan(*io_store_);
+  }
+  for (const auto& [id, entry] : stash_) {
+    visit(id, entry.leaf, entry.payload);
+  }
+}
+
+void path_oram::check_consistency() const {
+  std::vector<std::uint8_t> payload(config_.payload_bytes);
+  std::vector<std::uint8_t> seen(positions_.universe(), 0);
+  std::uint64_t found = 0;
+  const std::uint64_t z = config_.bucket_size;
+
+  const auto scan = [&](const storage::block_store& store,
+                        std::uint64_t first_bucket) {
+    for (std::uint64_t slot = 0; slot < store.slot_count(); ++slot) {
+      const block_id id = codec_.decode(store.peek(slot), payload);
+      if (id == dummy_block_id) {
+        continue;
+      }
+      invariant(id < positions_.universe(),
+                "tree holds an out-of-universe block");
+      invariant(positions_.contains(id),
+                "tree holds a block missing from the position map");
+      invariant(seen[id] == 0, "block stored in two tree slots");
+      seen[id] = 1;
+      ++found;
+      const std::uint64_t bucket = first_bucket + slot / z;
+      const unsigned level = util::floor_log2(bucket + 1);
+      invariant(bucket == bucket_on_path(positions_.leaf_of(id), level),
+                "block stored off its position-map path");
+    }
+  };
+  if (memory_store_) {
+    scan(*memory_store_, 0);
+  }
+  if (io_store_) {
+    scan(*io_store_, memory_bucket_count_);
+  }
+
+  for (const auto& [id, entry] : stash_) {
+    invariant(id < positions_.universe(),
+              "stash holds an out-of-universe block");
+    invariant(positions_.contains(id),
+              "stash holds a block missing from the position map");
+    invariant(entry.leaf == positions_.leaf_of(id),
+              "stash leaf disagrees with the position map");
+    invariant(seen[id] == 0, "block in both the tree and the stash");
+    seen[id] = 1;
+    ++found;
+    invariant(entry.payload.size() == config_.payload_bytes,
+              "stash payload has the wrong size");
+  }
+
+  invariant(found == resident_, "resident counter out of sync");
+  invariant(positions_.size() == resident_,
+            "position map size disagrees with the resident count");
 }
 
 cost_split path_oram::reset() {
@@ -353,7 +463,9 @@ cost_split path_oram::reset() {
     }
     cost.cpu += cpu_.crypto_time(slots, record_bytes);
   };
-  rewrite(*memory_store_, /*memory_lane=*/true);
+  if (memory_store_) {
+    rewrite(*memory_store_, /*memory_lane=*/true);
+  }
   if (io_store_) {
     rewrite(*io_store_, /*memory_lane=*/false);
   }
@@ -366,7 +478,8 @@ cost_split path_oram::reset() {
 
 cost_split path_oram::initialize_full(
     std::uint64_t count,
-    const std::function<void(block_id, std::span<std::uint8_t>)>& filler) {
+    const std::function<void(block_id, std::span<std::uint8_t>)>& filler,
+    std::vector<leaf_id>* leaves_out) {
   expects(count <= positions_.universe(), "more blocks than the universe");
   expects(count <= capacity_blocks(), "tree cannot hold that many blocks");
   cost_split cost;
@@ -452,7 +565,8 @@ cost_split path_oram::initialize_full(
   }
 
   // Stream the image out as sequential sweeps on both lanes.
-  const std::uint64_t memory_slots = memory_store_->slot_count();
+  const std::uint64_t memory_slots =
+      memory_store_ ? memory_store_->slot_count() : 0;
   for (std::uint64_t first = 0; first < memory_slots;
        first += sweep_chunk_records) {
     const std::uint64_t n = std::min(sweep_chunk_records,
@@ -478,6 +592,9 @@ cost_split path_oram::initialize_full(
   cost.cpu += cpu_.crypto_time(bucket_count_ * z, record_bytes);
 
   resident_ = count;
+  if (leaves_out != nullptr) {
+    *leaves_out = leaves;
+  }
   return cost;
 }
 

@@ -1,12 +1,15 @@
 // Path ORAM (Stefanov et al.), with a configurable memory/storage level
 // split.
 //
-// Two roles in this repository:
+// Three roles in this repository:
 //   * split_level == level_count: the whole tree lives in memory — this
 //     is H-ORAM's in-memory cache tree (§4.1.2);
 //   * split_level < level_count: top levels in memory, deeper levels on
 //     the storage device — the "tree-top cache" baseline the paper
-//     evaluates against (Figure 3-1 a, ZeroTrace-style).
+//     evaluates against (Figure 3-1 a, ZeroTrace-style);
+//   * split_level == 0: the whole tree on storage — the `path`
+//     oram_backend (oram/path/path_backend.h), driven through
+//     extract/install instead of plain accesses.
 //
 // Every access reads one root-to-leaf path bucket by bucket, remaps the
 // requested block to a fresh uniform leaf, and greedily writes the path
@@ -88,6 +91,10 @@ class path_oram {
   [[nodiscard]] const path_oram_config& config() const noexcept {
     return config_;
   }
+  /// Encoded record size (payload + id + sealing overhead).
+  [[nodiscard]] std::size_t record_bytes() const noexcept {
+    return codec_.record_bytes();
+  }
   [[nodiscard]] const path_oram_stats& stats() const noexcept {
     return stats_;
   }
@@ -124,6 +131,38 @@ class path_oram {
   /// cost only; the block reaches the tree via later write-backs.
   cost_split install(block_id id, std::span<const std::uint8_t> payload);
 
+  /// install() with a caller-chosen leaf, so an external position map
+  /// (e.g. a recursive_position_map kept by path_backend) can record
+  /// the same assignment the tree uses.
+  cost_split install(block_id id, std::span<const std::uint8_t> payload,
+                     leaf_id leaf);
+
+  /// One path access that removes `id` from the tree: reads the block's
+  /// path, copies the payload into `read_out` (payload_bytes long) and
+  /// writes the path back without the block — the live copy moves to
+  /// the caller's cache layer (H-ORAM's load path, the inverse of
+  /// install). The block must be resident.
+  cost_split extract(block_id id, std::span<std::uint8_t> read_out);
+
+  /// Current leaf of a resident block (control-layer knowledge; audits
+  /// compare it against an external position map).
+  [[nodiscard]] leaf_id leaf_of(block_id id) const {
+    return positions_.leaf_of(id);
+  }
+
+  /// Visits every resident block — tree buckets first, then the stash —
+  /// without charging device time (audits and peeks only).
+  void for_each_resident(
+      const std::function<void(block_id, leaf_id,
+                               std::span<const std::uint8_t>)>& visit)
+      const;
+
+  /// Deep audit of the tree invariants: every stored block lies on the
+  /// path to its position-map leaf, no block appears twice, the stash
+  /// agrees with the map, and the resident count matches. Throws
+  /// util::contract_error on the first inconsistency.
+  void check_consistency() const;
+
   /// Oblivious tree evict (§4.3.1): sequentially reads the whole tree,
   /// obliviously shuffles the buffer (K-oblivious cache-shuffle cost
   /// model), drops dummies and returns every resident real block
@@ -138,9 +177,13 @@ class path_oram {
   /// Bulk-builds the tree with every id in [0, count) using `filler` to
   /// produce payloads (baseline initialisation). Blocks are placed
   /// bottom-up along their leaf paths; overflow lands in the stash.
+  /// When `leaves_out` is non-null it receives the leaf assigned to
+  /// each id (index = id), so callers can seed an external position map
+  /// with the same assignments.
   cost_split initialize_full(
       std::uint64_t count,
-      const std::function<void(block_id, std::span<std::uint8_t>)>& filler);
+      const std::function<void(block_id, std::span<std::uint8_t>)>& filler,
+      std::vector<leaf_id>* leaves_out = nullptr);
 
  private:
   /// Heap index of the bucket at `level` on the path to `leaf`.
@@ -162,7 +205,8 @@ class path_oram {
       std::span<const std::uint8_t> write_data,
       std::span<std::uint8_t> read_out,
       const std::function<void(std::span<std::uint8_t>)>* updater =
-          nullptr);
+          nullptr,
+      bool extract_requested = false);
 
   path_oram_config config_;
   std::uint32_t level_count_;
@@ -171,6 +215,9 @@ class path_oram {
   std::uint64_t memory_bucket_count_;
 
   block_codec codec_;
+  sim::block_device& memory_device_;
+  std::uint64_t logical_bytes_ = 0;
+  /// Null when memory_levels == 0 (fully storage-resident tree).
   std::unique_ptr<storage::block_store> memory_store_;
   std::unique_ptr<storage::block_store> io_store_;
   const sim::cpu_model& cpu_;

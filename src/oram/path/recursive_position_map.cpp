@@ -1,5 +1,6 @@
 #include "oram/path/recursive_position_map.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/contracts.h"
@@ -23,12 +24,14 @@ std::uint64_t leaves_for(std::uint64_t blocks, std::uint32_t z) {
 recursive_position_map::recursive_position_map(
     const recursive_map_config& config, sim::block_device& memory_device,
     const sim::cpu_model& cpu, util::random_source& rng,
-    access_trace* trace)
+    access_trace* trace, std::span<const leaf_id> initial)
     : config_(config) {
   expects(config_.universe > 0, "map universe must be positive");
   expects(config_.entries_per_block >= 2,
           "recursion needs at least two entries per block");
   expects(config_.direct_threshold >= 1, "threshold must be positive");
+  expects(initial.empty() || initial.size() <= config_.universe,
+          "more initial entries than the universe");
 
   // Build the level chain: level 0 covers the data blocks; level k+1
   // covers the map blocks of level k; stop when a level fits the
@@ -51,14 +54,32 @@ recursive_position_map::recursive_position_map(
     levels_.push_back(std::make_unique<path_oram>(
         level_config, memory_device, nullptr, cpu, rng, trace));
 
-    // Initialise every map block to all-absent so lookups are total.
+    // Initialise every map block: level 0 packs the caller's initial
+    // values (the authoritative entries); deeper levels and unseeded
+    // entries start all-absent so lookups are total.
+    const bool authoritative = levels_.size() == 1;
     levels_.back()->initialize_full(
-        blocks, [](block_id, std::span<std::uint8_t> payload) {
+        blocks, [&](block_id block, std::span<std::uint8_t> payload) {
           std::memset(payload.data(), 0xff, payload.size());
+          if (!authoritative || initial.empty()) {
+            return;
+          }
+          for (std::uint64_t k = 0; k < config_.entries_per_block; ++k) {
+            const std::uint64_t id =
+                block * config_.entries_per_block + k;
+            if (id >= initial.size()) {
+              break;
+            }
+            std::memcpy(payload.data() + k * sizeof(leaf_id),
+                        &initial[id], sizeof(leaf_id));
+          }
         });
     entries = blocks;
   }
   residue_.assign(entries, absent);
+  if (levels_.empty() && !initial.empty()) {
+    std::copy(initial.begin(), initial.end(), residue_.begin());
+  }
   payload_scratch_.resize(config_.entries_per_block * sizeof(leaf_id));
   invariant(!levels_.empty() || config_.universe <= config_.direct_threshold,
             "chain construction failed");
@@ -166,6 +187,36 @@ cost_split recursive_position_map::remove(block_id id) {
   leaf_id ignored = absent;
   cost += level_access(0, id, std::optional<leaf_id>(absent), ignored);
   return cost;
+}
+
+void recursive_position_map::for_each_assigned(
+    const std::function<void(block_id, leaf_id)>& visit) const {
+  if (levels_.empty()) {
+    for (block_id id = 0; id < residue_.size(); ++id) {
+      if (residue_[id] != absent) {
+        visit(id, residue_[id]);
+      }
+    }
+    return;
+  }
+  // One device-free scan of the authoritative level-0 ORAM; each map
+  // block packs entries_per_block consecutive entries.
+  levels_[0]->for_each_resident(
+      [&](block_id block, leaf_id /*block_leaf*/,
+          std::span<const std::uint8_t> payload) {
+        for (std::uint64_t k = 0; k < config_.entries_per_block; ++k) {
+          const block_id id = block * config_.entries_per_block + k;
+          if (id >= config_.universe) {
+            break;
+          }
+          leaf_id value = absent;
+          std::memcpy(&value, payload.data() + k * sizeof(leaf_id),
+                      sizeof(leaf_id));
+          if (value != absent) {
+            visit(id, value);
+          }
+        }
+      });
 }
 
 }  // namespace horam::oram

@@ -17,8 +17,10 @@
 #define HORAM_ORAM_PATH_RECURSIVE_POSITION_MAP_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "oram/common/types.h"
@@ -47,10 +49,15 @@ struct recursive_map_config {
 /// Position map stored in a chain of Path ORAMs.
 class recursive_position_map {
  public:
+  /// `initial` optionally seeds the map in bulk: initial[id] becomes the
+  /// assigned leaf of every id < initial.size() (one streaming build of
+  /// the level-0 ORAM instead of per-id assign() accesses). Empty means
+  /// every id starts unassigned.
   recursive_position_map(const recursive_map_config& config,
                          sim::block_device& memory_device,
                          const sim::cpu_model& cpu,
-                         util::random_source& rng, access_trace* trace);
+                         util::random_source& rng, access_trace* trace,
+                         std::span<const leaf_id> initial = {});
 
   /// Number of ORAM levels below the trusted residue.
   [[nodiscard]] std::uint32_t level_count() const noexcept {
@@ -72,6 +79,12 @@ class recursive_position_map {
 
   /// Removes an assignment (same cost as assign).
   cost_split remove(block_id id);
+
+  /// Visits every assigned (id, leaf) entry without charging device
+  /// time (audits only; backends compare against the data ORAM's own
+  /// bookkeeping).
+  void for_each_assigned(
+      const std::function<void(block_id, leaf_id)>& visit) const;
 
  private:
   static constexpr leaf_id absent = std::numeric_limits<leaf_id>::max();

@@ -1,15 +1,17 @@
 // Conformance suite for the pluggable oram_backend interface: every
-// implementation (partitioned storage layer, sqrt ORAM, partition ORAM)
-// must satisfy the same contract — residency tracking, load/dummy-load
-// semantics, shuffle-period merge, payload round-trips, deep
-// consistency audits — both driven directly and fronted by the full
-// controller through the public client facade.
+// implementation (partitioned storage layer, sqrt ORAM, partition ORAM,
+// Path ORAM with a recursive position map) must satisfy the same
+// contract — residency tracking, load/dummy-load semantics,
+// shuffle-period merge, payload round-trips, deep consistency audits —
+// both driven directly and fronted by the full controller through the
+// public client facade.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "horam.h"
+#include "test_support.h"
 
 namespace horam {
 namespace {
@@ -23,8 +25,9 @@ constexpr std::size_t kPayload = 16;
 
 struct rig {
   sim::block_device device{sim::hdd_paper()};
+  sim::block_device map_device{sim::dram_ddr4()};
   sim::cpu_model cpu{sim::cpu_aesni()};
-  util::pcg64 rng{97};
+  util::pcg64 rng{test::seed(97)};
 
   horam_config config() const {
     horam_config c;
@@ -37,7 +40,8 @@ struct rig {
 
   std::unique_ptr<oram_backend> make(backend_kind kind) {
     return make_backend(kind, config(), device, cpu, rng,
-                        /*trace=*/nullptr, /*filler=*/nullptr);
+                        /*trace=*/nullptr, /*filler=*/nullptr,
+                        &map_device);
   }
 };
 
@@ -54,8 +58,7 @@ class BackendConformance
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformance,
-    ::testing::Values(backend_kind::partitioned, backend_kind::sqrt,
-                      backend_kind::partition),
+    ::testing::ValuesIn(all_backend_kinds),
     [](const ::testing::TestParamInfo<backend_kind>& info) {
       return std::string(backend_name(info.param));
     });
@@ -115,7 +118,7 @@ TEST_P(BackendConformance, ShufflePeriodsRoundTripData) {
 
   std::map<block_id, std::vector<std::uint8_t>> cache;   // the "tree"
   std::map<block_id, std::vector<std::uint8_t>> shadow;  // the oracle
-  util::pcg64 driver(11);
+  util::pcg64 driver(test::seed(11));
 
   for (std::uint64_t period = 0; period < 6; ++period) {
     for (std::uint64_t cycle = 0; cycle < period_loads; ++cycle) {
@@ -193,12 +196,12 @@ TEST_P(BackendConformance, ClientDifferentialCorrectness) {
                     .memory_blocks(kMemoryBlocks)
                     .payload_bytes(kPayload)
                     .backend(GetParam())
-                    .seed(23)
+                    .seed(test::seed(23))
                     .build();
   EXPECT_EQ(oram.backend().name(), backend_name(GetParam()));
 
   std::map<block_id, std::vector<std::uint8_t>> shadow;
-  util::pcg64 driver(29);
+  util::pcg64 driver(test::seed(29));
   for (int step = 0; step < 800; ++step) {
     const block_id id = util::uniform_below(driver, kBlocks);
     if (util::bernoulli(driver, 0.4)) {
@@ -224,9 +227,9 @@ TEST_P(BackendConformance, SubmitDrainSessionServicesEverything) {
                     .memory_blocks(kMemoryBlocks)
                     .payload_bytes(kPayload)
                     .backend(GetParam())
-                    .seed(31)
+                    .seed(test::seed(31))
                     .build();
-  util::pcg64 driver(37);
+  util::pcg64 driver(test::seed(37));
   std::uint64_t submitted = 0;
   for (int wave = 0; wave < 5; ++wave) {
     const std::uint64_t count = 20 + 10 * static_cast<std::uint64_t>(wave);
@@ -256,6 +259,199 @@ TEST_P(BackendConformance, LoadingCachedBlockTripsContract) {
   const std::unique_ptr<oram_backend> backend = fx.make(GetParam());
   (void)backend->load_block(7);
   EXPECT_THROW((void)backend->load_block(7), contract_error);
+}
+
+// An empty eviction (nothing was cached) is a legal shuffle period:
+// nothing may change residency, and the deep audit must stay clean.
+TEST_P(BackendConformance, EmptyShufflePeriodKeepsEverythingResident) {
+  rig fx;
+  const std::unique_ptr<oram_backend> backend = fx.make(GetParam());
+  for (std::uint64_t period = 0; period < 3; ++period) {
+    std::vector<oram::evicted_block> overflow;
+    (void)backend->shuffle_period({}, period, overflow);
+    EXPECT_TRUE(overflow.empty());
+    for (block_id id = 0; id < kBlocks; ++id) {
+      ASSERT_TRUE(backend->in_storage(id)) << "block " << id;
+    }
+    ASSERT_NO_THROW(backend->check_consistency());
+  }
+  EXPECT_EQ(backend->stats().real_loads, 0u);
+}
+
+// Residency must match an explicitly tracked cached set exactly, for
+// every block, across interleaved loads, dummies and evict-shuffles.
+TEST_P(BackendConformance, ResidencyTrackingIsExactAcrossPeriods) {
+  rig fx;
+  const std::unique_ptr<oram_backend> backend = fx.make(GetParam());
+  const std::uint64_t period_loads = fx.config().period_loads();
+  util::pcg64 driver(test::seed(41));
+
+  std::map<block_id, std::vector<std::uint8_t>> cached;
+  for (std::uint64_t period = 0; period < 4; ++period) {
+    for (std::uint64_t cycle = 0; cycle < period_loads; ++cycle) {
+      const block_id target = util::uniform_below(driver, kBlocks);
+      oram_backend::load_result load;
+      if (backend->in_storage(target)) {
+        load = backend->load_block(target);
+      } else {
+        load = backend->dummy_load();
+      }
+      if (load.id != oram::dummy_block_id) {
+        cached[load.id] = load.payload;
+      }
+    }
+    for (block_id id = 0; id < kBlocks; ++id) {
+      ASSERT_EQ(backend->in_storage(id), !cached.contains(id))
+          << backend_name(GetParam()) << " period " << period << " block "
+          << id;
+    }
+    std::vector<oram::evicted_block> evicted;
+    for (auto& [id, payload] : cached) {
+      evicted.push_back(oram::evicted_block{id, std::move(payload)});
+    }
+    cached.clear();
+    std::vector<oram::evicted_block> overflow;
+    (void)backend->shuffle_period(std::move(evicted), period, overflow);
+    for (oram::evicted_block& block : overflow) {
+      cached.emplace(block.id, std::move(block.payload));
+    }
+    ASSERT_NO_THROW(backend->check_consistency());
+  }
+}
+
+// Facade plumbing: every kind's printed name parses back to the kind,
+// and the builder accepts it end to end.
+TEST_P(BackendConformance, NameRoundTripsThroughParserAndBuilder) {
+  EXPECT_EQ(backend_by_name(backend_name(GetParam())), GetParam());
+  client oram = client_builder()
+                    .blocks(64)
+                    .memory_blocks(16)
+                    .payload_bytes(8)
+                    .backend(backend_by_name(backend_name(GetParam())))
+                    .seed(test::seed(43))
+                    .build();
+  EXPECT_EQ(oram.kind(), GetParam());
+  EXPECT_EQ(oram.read(5), std::vector<std::uint8_t>(8, 0));
+}
+
+// ------------------------------------------------- path-backend detail
+
+// Deep recursion forced via the config knobs: the recursive map chain
+// gains real ORAM levels, shrinks trusted memory below the flat map's
+// 8 bytes/block, and still agrees with the tree at every audit.
+TEST(PathBackendDetail, ForcedRecursionAgreesWithTreeUnderStress) {
+  rig fx;
+  horam_config config = fx.config();
+  config.map_entries_per_block = 8;
+  config.map_direct_threshold = 4;
+  oram::path_backend backend(config, fx.device, fx.cpu, fx.rng,
+                             /*trace=*/nullptr, /*filler=*/nullptr,
+                             &fx.map_device);
+  EXPECT_GE(backend.map().level_count(), 2u);
+  EXPECT_LT(backend.map().trusted_bytes(), 8 * kBlocks);
+
+  util::pcg64 driver(test::seed(47));
+  std::map<block_id, std::vector<std::uint8_t>> cached;
+  for (std::uint64_t period = 0; period < 3; ++period) {
+    for (std::uint64_t cycle = 0; cycle < fx.config().period_loads();
+         ++cycle) {
+      const block_id target = util::uniform_below(driver, kBlocks);
+      if (backend.in_storage(target)) {
+        const auto load = backend.load_block(target);
+        cached[load.id] = load.payload;
+      } else {
+        (void)backend.dummy_load();
+      }
+    }
+    std::vector<oram::evicted_block> evicted;
+    for (auto& [id, payload] : cached) {
+      evicted.push_back(oram::evicted_block{id, std::move(payload)});
+    }
+    cached.clear();
+    std::vector<oram::evicted_block> overflow;
+    (void)backend.shuffle_period(std::move(evicted), period, overflow);
+    EXPECT_TRUE(overflow.empty());
+    ASSERT_NO_THROW(backend.check_consistency()) << "period " << period;
+  }
+}
+
+// The shuffle-period stash drain works: after a full evict-and-shuffle
+// round the stash is back to a small constant, so the tree (not
+// trusted memory) holds the dataset.
+TEST(PathBackendDetail, ShuffleDrainReturnsStashToConstantSize) {
+  rig fx;
+  oram::path_backend backend(fx.config(), fx.device, fx.cpu, fx.rng,
+                             /*trace=*/nullptr, /*filler=*/nullptr,
+                             &fx.map_device);
+  util::pcg64 driver(test::seed(53));
+
+  std::vector<oram::evicted_block> evicted;
+  for (std::uint64_t i = 0; i < fx.config().period_loads(); ++i) {
+    const block_id target = util::uniform_below(driver, kBlocks);
+    if (backend.in_storage(target)) {
+      const auto load = backend.load_block(target);
+      evicted.push_back(oram::evicted_block{load.id, load.payload});
+    } else {
+      (void)backend.dummy_load();
+    }
+  }
+  std::vector<oram::evicted_block> overflow;
+  (void)backend.shuffle_period(std::move(evicted), 0, overflow);
+  EXPECT_TRUE(overflow.empty());
+  EXPECT_GT(backend.last_drain_accesses(), 0u);
+  EXPECT_LE(backend.tree().stash_ref().size(),
+            2u * fx.config().bucket_size);
+  ASSERT_NO_THROW(backend.check_consistency());
+}
+
+// A legal non-power-of-two bucket size must not trip the tree's
+// power-of-two leaf-count contract (the leaf count is derived by
+// doubling, independently of Z).
+TEST(PathBackendDetail, AcceptsNonPowerOfTwoBucketSize) {
+  client oram = client_builder()
+                    .blocks(200)
+                    .memory_blocks(30)
+                    .payload_bytes(8)
+                    .bucket_size(5)
+                    .backend(backend_kind::path)
+                    .seed(test::seed(67))
+                    .build();
+  const std::vector<std::uint8_t> data(8, 0x5A);
+  oram.write(3, data);
+  EXPECT_EQ(oram.read(3), data);
+  EXPECT_NO_THROW(oram.backend().check_consistency());
+}
+
+// Sanity of the client-facing recursion knobs: a facade-built client
+// with forced recursion still round-trips data.
+TEST(PathBackendDetail, FacadeClientWithForcedRecursionRoundTrips) {
+  client oram = client_builder()
+                    .blocks(kBlocks)
+                    .memory_blocks(kMemoryBlocks)
+                    .payload_bytes(kPayload)
+                    .backend(backend_kind::path)
+                    .seed(test::seed(59))
+                    .config_tweak([](horam_config& config) {
+                      config.map_entries_per_block = 8;
+                      config.map_direct_threshold = 8;
+                    })
+                    .build();
+  util::pcg64 driver(test::seed(61));
+  std::map<block_id, std::vector<std::uint8_t>> shadow;
+  for (int step = 0; step < 200; ++step) {
+    const block_id id = util::uniform_below(driver, kBlocks);
+    if (util::bernoulli(driver, 0.5)) {
+      const auto data = tagged(id, static_cast<std::uint64_t>(step));
+      oram.write(id, data);
+      shadow[id] = data;
+    } else {
+      const auto expected = shadow.contains(id)
+                                ? shadow[id]
+                                : std::vector<std::uint8_t>(kPayload, 0);
+      ASSERT_EQ(oram.read(id), expected) << "step " << step;
+    }
+  }
+  EXPECT_NO_THROW(oram.backend().check_consistency());
 }
 
 }  // namespace

@@ -1,0 +1,391 @@
+// Statistical obliviousness audit: the access traces of all four
+// backends are checked for (a) uniformity of the bus-visible positions
+// they touch and (b) workload-independence of the position
+// distribution under the async service scheduler. Negative controls
+// prove the tests have the power to catch a leaky trace.
+//
+// What "position" means per scheme:
+//   * partitioned / sqrt / partition — the storage slot of every read
+//     (uniform without replacement within a period by construction);
+//   * path — the leaf of every path access (buckets are hit with the
+//     fixed, non-uniform marginal any tree walk induces, so the
+//     uniformity claim lives at the leaf level; the bucket stream is
+//     still checked for workload-independence).
+//
+// All randomness derives from the logged HORAM_TEST_SEED
+// (tests/test_support.h): a CI failure reproduces locally by exporting
+// the logged value.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/obliviousness.h"
+#include "horam.h"
+#include "test_support.h"
+
+namespace horam {
+namespace {
+
+using oram::block_id;
+using oram::op_kind;
+
+constexpr std::uint64_t kBlocks = 256;
+constexpr std::uint64_t kMemoryBlocks = 32;
+constexpr std::size_t kPayload = 16;
+
+// ----------------------------------------------------- primitives
+
+TEST(ObliviousnessPrimitives, FoldHistogramCoversEdgesExactly) {
+  const std::vector<std::uint64_t> samples = {0, 1, 9, 5, 9, 0};
+  const std::vector<std::uint64_t> counts =
+      analysis::fold_histogram(samples, /*universe=*/10, /*cells=*/5);
+  // cell = sample * 5 / 10: {0,1,0} -> 0, {5} -> 2, {9,9} -> 4.
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{3, 0, 1, 0, 2}));
+  EXPECT_THROW(analysis::fold_histogram(samples, 9, 5), contract_error);
+}
+
+TEST(ObliviousnessPrimitives, KsAcceptsUniformSamples) {
+  util::pcg64 rng(test::seed(201));
+  std::vector<std::uint64_t> samples(4000);
+  for (auto& sample : samples) {
+    sample = util::uniform_below(rng, 1000);
+  }
+  const double d = analysis::ks_uniform_statistic(samples, 1000);
+  EXPECT_LE(d, analysis::ks_one_sample_threshold(samples.size()));
+}
+
+TEST(ObliviousnessPrimitives, KsRejectsSkewedSamples) {
+  util::pcg64 rng(test::seed(202));
+  std::vector<std::uint64_t> samples(4000);
+  for (auto& sample : samples) {
+    // Quadratic skew towards low values.
+    const std::uint64_t a = util::uniform_below(rng, 1000);
+    const std::uint64_t b = util::uniform_below(rng, 1000);
+    sample = std::min(a, b);
+  }
+  const double d = analysis::ks_uniform_statistic(samples, 1000);
+  EXPECT_GT(d, analysis::ks_one_sample_threshold(samples.size()));
+}
+
+TEST(ObliviousnessPrimitives, TwoSampleKsSeparatesShiftedStreams) {
+  util::pcg64 rng(test::seed(203));
+  std::vector<std::uint64_t> a(3000);
+  std::vector<std::uint64_t> b(2000);
+  for (auto& sample : a) {
+    sample = util::uniform_below(rng, 1000);
+  }
+  for (auto& sample : b) {
+    sample = util::uniform_below(rng, 1000);
+  }
+  EXPECT_LE(analysis::ks_two_sample_statistic(a, b),
+            analysis::ks_two_sample_threshold(a.size(), b.size()));
+  for (auto& sample : b) {
+    sample = sample / 2;  // compress into the lower half
+  }
+  EXPECT_GT(analysis::ks_two_sample_statistic(a, b),
+            analysis::ks_two_sample_threshold(a.size(), b.size()));
+}
+
+TEST(ObliviousnessPrimitives, HomogeneityZeroForIdenticalHistograms) {
+  const std::vector<std::uint64_t> counts = {5, 9, 7, 3};
+  EXPECT_DOUBLE_EQ(analysis::chi_square_homogeneity(counts, counts), 0.0);
+}
+
+// ----------------------------------------------- negative controls
+
+// The raw *request address* stream of a hotspot workload is exactly
+// the thing an ORAM must hide; the audit must reject it loudly.
+TEST(ObliviousnessNegativeControl, HotspotAddressesFailUniformity) {
+  util::pcg64 gen(test::seed(211));
+  workload::stream_config config;
+  config.request_count = 3000;
+  config.block_count = kBlocks;
+  config.payload_bytes = kPayload;
+  const std::vector<request> stream =
+      workload::hotspot(gen, config, 0.8, 0.1);
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(stream.size());
+  for (const request& req : stream) {
+    addresses.push_back(req.id);
+  }
+  const analysis::uniformity_report report =
+      analysis::audit_uniformity(addresses, kBlocks);
+  EXPECT_FALSE(report.passed());
+  EXPECT_FALSE(report.chi_ok);
+}
+
+TEST(ObliviousnessNegativeControl, DifferentWorkloadAddressesFailEquality) {
+  util::pcg64 gen(test::seed(212));
+  workload::stream_config config;
+  config.request_count = 3000;
+  config.block_count = kBlocks;
+  config.payload_bytes = kPayload;
+  const std::vector<request> hot = workload::hotspot(gen, config, 0.9, 0.05);
+  const std::vector<request> flat = workload::uniform(gen, config);
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (const request& req : hot) {
+    a.push_back(req.id);
+  }
+  for (const request& req : flat) {
+    b.push_back(req.id);
+  }
+  const analysis::equality_report report =
+      analysis::audit_distribution_equality(a, b, kBlocks);
+  EXPECT_FALSE(report.passed());
+}
+
+// ------------------------------------------- per-backend uniformity
+
+/// Hand-drives a backend through `periods` full access periods (the
+/// controller's cadence: period_loads loads, then a whole-hot-set
+/// evict-shuffle) with the trace recording the adversary's view.
+void drive_backend(oram_backend& backend, const horam_config& config,
+                   util::random_source& driver, std::uint64_t periods) {
+  std::map<block_id, std::vector<std::uint8_t>> cached;
+  for (std::uint64_t period = 0; period < periods; ++period) {
+    for (std::uint64_t cycle = 0; cycle < config.period_loads(); ++cycle) {
+      const bool want_real = util::bernoulli(driver, 0.6);
+      const block_id target = util::uniform_below(driver, kBlocks);
+      oram_backend::load_result load;
+      if (want_real && backend.in_storage(target)) {
+        load = backend.load_block(target);
+      } else {
+        load = backend.dummy_load();
+      }
+      if (load.id != oram::dummy_block_id) {
+        cached[load.id] = std::move(load.payload);
+      }
+    }
+    std::vector<oram::evicted_block> evicted;
+    for (auto& [id, payload] : cached) {
+      evicted.push_back(oram::evicted_block{id, std::move(payload)});
+    }
+    cached.clear();
+    std::vector<oram::evicted_block> overflow;
+    (void)backend.shuffle_period(std::move(evicted), period, overflow);
+    for (oram::evicted_block& block : overflow) {
+      cached.emplace(block.id, std::move(block.payload));
+    }
+  }
+}
+
+/// The scheme-appropriate (positions, universe) pair for a uniformity
+/// audit, extracted from the trace of a directly driven backend.
+struct position_stream {
+  std::vector<std::uint64_t> positions;
+  std::uint64_t universe = 0;
+};
+
+void uniform_positions_of(const oram_backend& backend,
+                          const oram::access_trace& trace,
+                          position_stream& stream) {
+  if (const auto* path =
+          dynamic_cast<const oram::path_backend*>(&backend)) {
+    // Filter to the backend tree's leaf universe: with map recursion
+    // active the trace also carries the (smaller) map ORAM trees.
+    stream.universe = path->tree().config().leaf_count;
+    stream.positions = analysis::path_access_leaves(trace, stream.universe);
+    return;
+  }
+  if (const auto* partitioned =
+          dynamic_cast<const storage_layer*>(&backend)) {
+    // Reads only ever touch the main regions (full-shuffle mode), which
+    // sit strided inside the partition-major layout: normalise to a
+    // gapless [0, partitions * main_capacity) universe.
+    const storage::partition_geometry& geometry = partitioned->geometry();
+    for (const std::uint64_t slot :
+         analysis::storage_read_positions(trace)) {
+      const std::uint64_t partition =
+          slot / geometry.slots_per_partition();
+      const std::uint64_t code = slot % geometry.slots_per_partition();
+      ASSERT_LT(code, geometry.main_capacity)
+          << "full-shuffle read touched an append slot";
+      stream.positions.push_back(partition * geometry.main_capacity +
+                                 code);
+    }
+    stream.universe =
+        geometry.partition_count * geometry.main_capacity;
+    return;
+  }
+  if (const auto* sqrt_store =
+          dynamic_cast<const oram::sqrt_backend*>(&backend)) {
+    stream.positions = analysis::storage_read_positions(trace);
+    stream.universe = sqrt_store->total_slots();
+    return;
+  }
+  const auto* partition =
+      dynamic_cast<const oram::partition_backend*>(&backend);
+  ASSERT_NE(partition, nullptr);
+  stream.positions = analysis::storage_read_positions(trace);
+  stream.universe = partition->geometry().total_slots();
+}
+
+class BackendUniformity : public ::testing::TestWithParam<backend_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendUniformity, ::testing::ValuesIn(all_backend_kinds),
+    [](const ::testing::TestParamInfo<backend_kind>& info) {
+      return std::string(backend_name(info.param));
+    });
+
+TEST_P(BackendUniformity, BusPositionsAreUniform) {
+  sim::block_device device{sim::hdd_paper()};
+  sim::block_device map_device{sim::dram_ddr4()};
+  const sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng(test::seed(221));
+  oram::access_trace trace;
+
+  horam_config config;
+  config.block_count = kBlocks;
+  config.memory_blocks = kMemoryBlocks;
+  config.payload_bytes = kPayload;
+  const std::unique_ptr<oram_backend> backend =
+      make_backend(GetParam(), config, device, cpu, rng, &trace,
+                   /*filler=*/nullptr, &map_device);
+
+  util::pcg64 driver(test::seed(223));
+  drive_backend(*backend, config, driver, /*periods=*/60);
+
+  position_stream stream;
+  uniform_positions_of(*backend, trace, stream);
+  ASSERT_GT(stream.positions.size(), 500u);
+  const analysis::uniformity_report report =
+      analysis::audit_uniformity(stream.positions, stream.universe);
+  EXPECT_TRUE(report.passed())
+      << backend_name(GetParam()) << ": chi2 " << report.chi_square
+      << " (<= " << report.chi_threshold << "), ks " << report.ks
+      << " (<= " << report.ks_threshold << ") over " << report.samples
+      << " samples";
+}
+
+// With map recursion forced on, the trace interleaves three leaf
+// universes (backend tree + two map levels). The filtered stream must
+// still audit uniform; the naive unfiltered mixture must fail — which
+// is why path_access_leaves takes the universe filter.
+TEST(BackendUniformity, PathLeavesStayUniformUnderMapRecursion) {
+  sim::block_device device{sim::hdd_paper()};
+  sim::block_device map_device{sim::dram_ddr4()};
+  const sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng(test::seed(227));
+  oram::access_trace trace;
+
+  horam_config config;
+  config.block_count = kBlocks;
+  config.memory_blocks = kMemoryBlocks;
+  config.payload_bytes = kPayload;
+  config.map_entries_per_block = 8;
+  config.map_direct_threshold = 8;
+  oram::path_backend backend(config, device, cpu, rng, &trace,
+                             /*filler=*/nullptr, &map_device);
+  ASSERT_GE(backend.map().level_count(), 2u);
+
+  util::pcg64 driver(test::seed(229));
+  drive_backend(backend, config, driver, /*periods=*/60);
+
+  const std::uint64_t universe = backend.tree().config().leaf_count;
+  const std::vector<std::uint64_t> filtered =
+      analysis::path_access_leaves(trace, universe);
+  ASSERT_GT(filtered.size(), 500u);
+  EXPECT_TRUE(analysis::audit_uniformity(filtered, universe).passed());
+
+  const std::vector<std::uint64_t> mixture =
+      analysis::path_access_leaves(trace);
+  EXPECT_GT(mixture.size(), filtered.size());
+  EXPECT_FALSE(analysis::audit_uniformity(mixture, universe).passed());
+}
+
+// --------------------- workload independence (async service stack)
+
+/// Builds a traced service over `kind` and drives `stream` through two
+/// tenant sessions with genuine async interleaving (bursts of
+/// admissions between scheduler pumps).
+oram::access_trace run_service_workload(backend_kind kind,
+                                        const std::vector<request>& stream,
+                                        std::uint64_t machine_salt) {
+  service svc = client_builder()
+                    .blocks(kBlocks)
+                    .memory_blocks(kMemoryBlocks)
+                    .payload_bytes(kPayload)
+                    .backend(kind)
+                    .seed(test::seed(machine_salt))
+                    .trace(true)
+                    .build_service();
+  session alice = svc.open_session();
+  session bob = svc.open_session();
+  std::size_t submitted = 0;
+  for (const request& req : stream) {
+    session& target = (submitted % 2 == 0) ? alice : bob;
+    if (req.op == op_kind::write) {
+      (void)target.async_write(req.id, req.write_data);
+    } else {
+      (void)target.async_read(req.id);
+    }
+    if (++submitted % 64 == 0) {
+      (void)svc.step();
+    }
+  }
+  svc.run_until_idle();
+  return *svc.underlying().trace();
+}
+
+class BackendWorkloadIndependence
+    : public ::testing::TestWithParam<backend_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendWorkloadIndependence,
+    ::testing::ValuesIn(all_backend_kinds),
+    [](const ::testing::TestParamInfo<backend_kind>& info) {
+      return std::string(backend_name(info.param));
+    });
+
+// Two very different request streams — a concentrated hotspot and a
+// uniform sweep — must induce storage position streams drawn from one
+// distribution. Sample *counts* legitimately differ (the cacheable
+// interface trades hit-rate-dependent trace length for speed, §4.1);
+// the distribution of touched positions must not.
+TEST_P(BackendWorkloadIndependence, StoragePositionsMatchAcrossWorkloads) {
+  workload::stream_config config;
+  config.request_count = 1500;
+  config.block_count = kBlocks;
+  config.write_fraction = 0.3;
+  config.payload_bytes = kPayload;
+
+  util::pcg64 gen_a(test::seed(231));
+  util::pcg64 gen_b(test::seed(233));
+  const std::vector<request> hot =
+      workload::hotspot(gen_a, config, /*hot_probability=*/0.9,
+                        /*hot_region_fraction=*/0.05);
+  const std::vector<request> flat = workload::uniform(gen_b, config);
+
+  const oram::access_trace trace_a =
+      run_service_workload(GetParam(), hot, 235);
+  const oram::access_trace trace_b =
+      run_service_workload(GetParam(), flat, 237);
+
+  const std::vector<std::uint64_t> positions_a =
+      analysis::storage_read_positions(trace_a);
+  const std::vector<std::uint64_t> positions_b =
+      analysis::storage_read_positions(trace_b);
+  ASSERT_GT(positions_a.size(), 200u);
+  ASSERT_GT(positions_b.size(), 200u);
+
+  const std::uint64_t universe =
+      std::max(*std::max_element(positions_a.begin(), positions_a.end()),
+               *std::max_element(positions_b.begin(), positions_b.end())) +
+      1;
+  const analysis::equality_report report =
+      analysis::audit_distribution_equality(positions_a, positions_b,
+                                            universe);
+  EXPECT_TRUE(report.passed())
+      << backend_name(GetParam()) << ": ks " << report.ks << " (<= "
+      << report.ks_threshold << "), chi2 " << report.chi_square
+      << " (<= " << report.chi_threshold << ") over " << report.samples_a
+      << " vs " << report.samples_b << " samples";
+}
+
+}  // namespace
+}  // namespace horam

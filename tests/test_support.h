@@ -1,0 +1,45 @@
+// Shared test machinery: one reproducible seed for every randomized
+// test RNG.
+//
+// All randomized tests derive their generators from a single base
+// seed, logged once per test binary. By default the base seed is a
+// fixed constant, so CI runs are deterministic; exporting
+// HORAM_TEST_SEED=<n> (any strtoull format) reruns the whole binary
+// under a different seed — which is how a statistical-test failure
+// seen in a CI log is reproduced locally: copy the logged value.
+#ifndef HORAM_TESTS_TEST_SUPPORT_H
+#define HORAM_TESTS_TEST_SUPPORT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace horam::test {
+
+/// Base seed shared by every randomized test in the binary; logged on
+/// first use so failures are reproducible from the CI log.
+inline std::uint64_t seed() {
+  static const std::uint64_t value = [] {
+    std::uint64_t s = 0x484f52414d2019ULL;  // default: fixed constant
+    if (const char* env = std::getenv("HORAM_TEST_SEED");
+        env != nullptr && *env != '\0') {
+      s = std::strtoull(env, nullptr, 0);
+    }
+    std::fprintf(stderr,
+                 "[test_support] HORAM_TEST_SEED=%llu (export it to "
+                 "reproduce this run)\n",
+                 static_cast<unsigned long long>(s));
+    return s;
+  }();
+  return value;
+}
+
+/// Derived stream seed: distinct salts give independent deterministic
+/// generators under the same base seed.
+inline std::uint64_t seed(std::uint64_t salt) {
+  return seed() ^ (salt * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace horam::test
+
+#endif  // HORAM_TESTS_TEST_SUPPORT_H
