@@ -69,6 +69,7 @@ int main() {
   util::text_table table({"Tenants", "Total requests", "Makespan",
                           "Throughput (req/s)", "Mean latency",
                           "Max/min tenant latency"});
+  std::vector<controller_stats> sweep_stats;
   for (const std::uint32_t users : {1u, 2u, 4u, 8u}) {
     service svc =
         build_service_for(data, hw, fairness_kind::round_robin);
@@ -92,6 +93,7 @@ int main() {
     }
     svc.run_until_idle();
     const sim::sim_time makespan = svc.now() - start;
+    sweep_stats.push_back(svc.stats());
 
     sim::sim_time mean = 0;
     sim::sim_time lo = svc.tenant_stats(0).mean_latency();
@@ -120,6 +122,16 @@ int main() {
              2)});
   }
   table.print(std::cout);
+  // Whole-sweep resource totals via the multi-instance aggregation the
+  // sharded engine uses (controller_stats::operator+=).
+  const controller_stats sweep_total = aggregate(sweep_stats);
+  std::cout << "Sweep totals: "
+            << util::format_count(sweep_total.requests) << " requests, "
+            << util::format_count(sweep_total.cycles) << " I/O accesses, "
+            << util::format_count(sweep_total.periods)
+            << " shuffle periods, storage busy "
+            << util::format_time_ns(sweep_total.io_busy)
+            << " over all sweep machines.\n";
   std::cout << "Group scheduling absorbs extra tenants into shared "
                "cycles while round-robin keeps\nper-tenant latencies "
                "balanced (max/min near 1). Once the combined working "

@@ -1,7 +1,10 @@
 #include "common.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 
 #include "oram/path/path_oram.h"
 #include "sim/profiles.h"
@@ -36,6 +39,69 @@ double seconds_since(
 
 machine paper_machine() {
   return machine{sim::hdd_paper(), sim::dram_ddr4(), sim::cpu_aesni()};
+}
+
+bench_options parse_bench_args(int argc, char** argv) {
+  bench_options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--small") {
+      options.small = true;
+    } else {
+      std::cerr << "unknown flag '" << arg
+                << "' (supported: --json --small)\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_fields(const system_run& run) {
+  std::ostringstream out;
+  const double throughput =
+      run.total_time > 0 ? static_cast<double>(run.requests) * 1e9 /
+                               static_cast<double>(run.total_time)
+                         : 0.0;
+  out << "\"name\": " << json_escape(run.name)
+      << ", \"requests\": " << run.requests
+      << ", \"io_accesses\": " << run.io_accesses
+      << ", \"avg_io_latency_us\": " << run.avg_io_latency_us
+      << ", \"shuffle_time_ns\": " << run.shuffle_time
+      << ", \"shuffle_count\": " << run.shuffle_count
+      << ", \"total_time_ns\": " << run.total_time
+      << ", \"io_busy_ns\": " << run.io_busy
+      << ", \"throughput_rps\": " << throughput
+      << ", \"hit_rate\": " << run.hit_rate
+      << ", \"avg_c\": " << run.avg_c
+      << ", \"storage_bytes\": " << run.storage_bytes
+      << ", \"host_seconds\": " << run.host_seconds;
+  return out.str();
 }
 
 system_run run_horam(
@@ -79,7 +145,11 @@ system_run run_horam(
                  static_cast<double>(std::max<std::uint64_t>(
                      1, stats.requests));
   run.avg_c = stats.average_c();
-  run.storage_bytes = ctrl.backend().physical_bytes();
+  // Whole-machine footprint: every shard's store counts.
+  run.storage_bytes = 0;
+  for (std::uint32_t s = 0; s < ctrl.eng().shard_count(); ++s) {
+    run.storage_bytes += ctrl.eng().shard(s).backend().physical_bytes();
+  }
   run.host_seconds = seconds_since(start);
   return run;
 }

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "horam.h"
@@ -84,6 +85,27 @@ system_run run_horam(
 system_run run_tree_top_path(const dataset& data,
                              const workload_recipe& recipe,
                              const machine& hw);
+
+// ----------------------------------------------------- CLI / JSON mode
+
+/// Flags shared by the bench harnesses (parse with parse_bench_args).
+struct bench_options {
+  /// Emit machine-readable JSON instead of (or besides) the tables.
+  bool json = false;
+  /// Shrunken configuration for CI smoke runs.
+  bool small = false;
+};
+
+/// Parses `--json` and `--small`; unknown flags abort with a usage
+/// message so CI failures are loud.
+bench_options parse_bench_args(int argc, char** argv);
+
+/// JSON string literal with escaping.
+std::string json_escape(std::string_view text);
+
+/// The run's metrics as JSON object *fields* (no braces), so callers
+/// can prepend their own keys: `{"backend": "...", <json_fields(run)>}`.
+std::string json_fields(const system_run& run);
 
 /// Prints a Table 5-3/5-4 style comparison, with the paper's reference
 /// numbers when provided.

@@ -66,6 +66,20 @@ struct horam_config {
 
   shuffle_policy shuffle = shuffle_policy::foreground;
 
+  /// Number of independent controller shards the engine stripes the
+  /// block space over (core/engine.h). 1 = a single controller with the
+  /// exact historical behavior; > 1 routes requests by a keyed PRF over
+  /// the block id and pads every per-shard round to shard_round_cap so
+  /// the per-shard bus shape stays data-independent.
+  std::uint32_t shard_count = 1;
+  /// Request slots every shard executes per engine round when
+  /// shard_count > 1 (real requests topped up with dummies). 0 derives
+  /// the cap from the scheduler geometry. Public information by design:
+  /// the cap may depend on the configuration, never on the workload.
+  std::uint32_t shard_round_cap = 0;
+  /// Seed of the keyed SipHash PRF that routes block ids to shards.
+  std::uint64_t route_key_seed = 0x726f757465;  // "route"
+
   /// Recursive position map of the path backend: leaf labels packed
   /// into one map block (the compression factor per recursion level).
   std::uint64_t map_entries_per_block = 64;
@@ -105,6 +119,9 @@ struct horam_config {
     expects(prefetch_factor >= 1, "prefetch window must cover the group");
     expects(partition_slack >= 1.0, "partition slack below 1 cannot fit");
     expects(shuffle_every_periods >= 1, "shuffle cadence must be >= 1");
+    expects(shard_count >= 1, "shard count must be >= 1");
+    expects(shard_count <= block_count,
+            "more shards than blocks leaves shards empty");
     expects(map_entries_per_block >= 2,
             "map recursion needs at least two entries per block");
     expects(map_direct_threshold >= 1,

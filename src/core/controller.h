@@ -85,7 +85,42 @@ struct controller_stats {
                        : static_cast<double>(requests) /
                              static_cast<double>(cycles);
   }
+
+  /// Element-wise accumulation, for multi-instance runs (the sharded
+  /// engine, multi-machine benches). Every field sums — including the
+  /// wall-clock fields, which therefore read as *lane* time; a caller
+  /// aggregating parallel lanes overrides total_time with the wall
+  /// window it measured (core/engine.cpp does).
+  controller_stats& operator+=(const controller_stats& other) noexcept {
+    requests += other.requests;
+    hits += other.hits;
+    misses += other.misses;
+    cycles += other.cycles;
+    real_loads += other.real_loads;
+    dummy_loads += other.dummy_loads;
+    dummy_path_accesses += other.dummy_path_accesses;
+    periods += other.periods;
+    access_time += other.access_time;
+    shuffle_time += other.shuffle_time;
+    total_time += other.total_time;
+    io_busy += other.io_busy;
+    memory_busy += other.memory_busy;
+    cpu_busy += other.cpu_busy;
+    io_load_time += other.io_load_time;
+    return *this;
+  }
 };
+
+/// Sums a set of per-instance counters (see operator+= for the
+/// wall-clock caveat on parallel lanes).
+[[nodiscard]] inline controller_stats aggregate(
+    std::span<const controller_stats> parts) noexcept {
+  controller_stats total;
+  for (const controller_stats& part : parts) {
+    total += part;
+  }
+  return total;
+}
 
 class controller {
  public:

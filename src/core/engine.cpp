@@ -1,0 +1,496 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace horam {
+
+namespace {
+
+crypto::siphash_key make_route_key(std::uint64_t seed) {
+  crypto::siphash_key key{};
+  const std::uint64_t lo = seed;
+  const std::uint64_t hi = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(lo >> (8 * i));
+    key[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return key;
+}
+
+/// Per-shard RNG seeds: shard 0 keeps the caller's seed exactly (the
+/// single-shard engine is bit-for-bit the historical machine), the rest
+/// decorrelate via the golden-ratio increment.
+std::uint64_t shard_seed(std::uint64_t seed, std::uint32_t shard) {
+  return seed + 0x9e3779b97f4a7c15ULL * shard;
+}
+
+}  // namespace
+
+/// One controller shard with its own device lane.
+struct engine::shard_state {
+  horam_config config;
+
+  /// Owned machine lane (null when wrapping an external controller).
+  struct lane_state {
+    sim::block_device storage;
+    sim::block_device memory;
+    util::pcg64 rng;
+    /// Separate stream for padding ids, so routing dummies never
+    /// perturbs the shard's ORAM randomness.
+    util::pcg64 pad_rng;
+    std::optional<oram::access_trace> trace;
+
+    lane_state(const sim::device_profile& storage_profile,
+               const sim::device_profile& memory_profile,
+               std::uint64_t seed, std::uint64_t pad_seed, bool with_trace)
+        : storage(storage_profile),
+          memory(memory_profile),
+          rng(seed),
+          pad_rng(pad_seed) {
+      if (with_trace) {
+        trace.emplace();
+      }
+    }
+  };
+
+  std::unique_ptr<lane_state> lane;
+  std::unique_ptr<controller> owned;
+  controller* ctrl = nullptr;
+  /// Local id -> global id (empty = identity, the single-shard case).
+  std::vector<oram::block_id> blocks;
+};
+
+engine::engine(const horam_config& config, const sim::cpu_model& cpu,
+               const shard_factory& factory, const options& opts)
+    : config_(config), route_key_(make_route_key(config.route_key_seed)) {
+  expects(factory != nullptr, "engine needs a shard factory");
+  config_.validate();
+  const std::uint32_t count = config_.shard_count;
+
+  std::vector<std::vector<oram::block_id>> members(count);
+  if (count > 1) {
+    shard_index_of_.resize(config_.block_count);
+    local_id_of_.resize(config_.block_count);
+    for (oram::block_id id = 0; id < config_.block_count; ++id) {
+      const auto s = static_cast<std::uint32_t>(
+          crypto::siphash24_u64(route_key_, id) % count);
+      shard_index_of_[id] = s;
+      local_id_of_[id] = members[s].size();
+      members[s].push_back(id);
+    }
+  }
+  round_cap_ = derive_round_cap();
+
+  shards_.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    horam_config shard_config = config_;
+    shard_config.shard_count = 1;  // a shard's own view is unsharded
+    if (count > 1) {
+      shard_config.block_count = members[s].size();
+      // The memory budget splits evenly (remainder dropped); refusing
+      // undersized splits here keeps direct engine construction honest
+      // too — silently inflating per-shard caches would overrun the
+      // configured trusted-memory budget.
+      expects(config_.memory_blocks / count >=
+                  2ULL * config_.bucket_size,
+              "shards(): splitting memory_blocks() this many ways leaves "
+              "less than one bucket pair per shard — lower shards() or "
+              "raise memory_blocks()");
+      shard_config.memory_blocks = config_.memory_blocks / count;
+      expects(shard_config.block_count > 0,
+              "shards(): the routing PRF left a shard without blocks — "
+              "lower shards()");
+      expects(shard_config.memory_blocks / 2 < shard_config.block_count,
+              "shards(): splitting memory_blocks() this many ways leaves "
+              "a shard with more cache than data — lower shards() or "
+              "raise blocks()");
+    }
+    shard_config.validate();
+
+    auto state = std::make_unique<shard_state>();
+    state->config = shard_config;
+    state->lane = std::make_unique<shard_state::lane_state>(
+        opts.storage_profile, opts.memory_profile, shard_seed(opts.seed, s),
+        shard_seed(opts.seed ^ 0x7061645fULL, s + 1), opts.trace);
+    oram::access_trace* trace =
+        state->lane->trace.has_value() ? &*state->lane->trace : nullptr;
+    std::unique_ptr<oram_backend> backend =
+        factory(s, shard_config, state->lane->storage, state->lane->memory,
+                cpu, state->lane->rng, trace,
+                std::span<const oram::block_id>(members[s]));
+    expects(backend != nullptr, "shard factory returned no backend");
+    state->owned = std::make_unique<controller>(
+        shard_config, std::move(backend), state->lane->memory, cpu,
+        state->lane->rng, trace);
+    state->ctrl = state->owned.get();
+    state->blocks = std::move(members[s]);
+    shards_.push_back(std::move(state));
+  }
+  queues_.resize(count);
+}
+
+engine::~engine() = default;
+
+engine::engine(controller& external) : config_(external.config()) {
+  config_.shard_count = 1;
+  route_key_ = make_route_key(config_.route_key_seed);
+  round_cap_ = derive_round_cap();
+  auto state = std::make_unique<shard_state>();
+  state->config = config_;
+  state->ctrl = &external;
+  shards_.push_back(std::move(state));
+  queues_.resize(1);
+}
+
+std::uint32_t engine::derive_round_cap() const {
+  if (config_.shard_round_cap > 0) {
+    return config_.shard_round_cap;
+  }
+  // Mirror of scheduler::round_budget at the widest stage: enough to
+  // keep a shard's prefetch window full for a whole round.
+  std::uint32_t max_c = 1;
+  for (const scheduler_stage& stage : config_.stages) {
+    max_c = std::max(max_c, stage.c);
+  }
+  return 2 * (config_.prefetch_factor * max_c + 1) + 4;
+}
+
+std::uint32_t engine::shard_of(oram::block_id id) const {
+  expects(id < config_.block_count, "shard_of: id out of range");
+  return shards_.size() == 1 ? 0 : shard_index_of_[id];
+}
+
+oram::block_id engine::shard_local_id(oram::block_id id) const {
+  expects(id < config_.block_count, "shard_local_id: id out of range");
+  return shards_.size() == 1 ? id : local_id_of_[id];
+}
+
+sim::sim_time engine::run_lane(std::uint32_t index,
+                               std::deque<routed>& queue,
+                               std::size_t reals, std::size_t slots,
+                               sim::sim_time start,
+                               std::vector<completed>* out) {
+  shard_state& sh = *shards_[index];
+  std::vector<request> batch;
+  std::vector<std::uint64_t> tags;
+  batch.reserve(slots);
+  tags.reserve(reals);
+  for (std::size_t i = 0; i < reals; ++i) {
+    routed entry = std::move(queue.front());
+    queue.pop_front();
+    tags.push_back(entry.tag);
+    batch.push_back(std::move(entry.req));
+  }
+  for (std::size_t i = reals; i < slots; ++i) {
+    request pad;
+    pad.op = oram::op_kind::read;
+    pad.id = util::uniform_below(sh.lane->pad_rng, sh.config.block_count);
+    batch.push_back(std::move(pad));
+  }
+
+  // Padded lanes always collect results: the router needs the hit/miss
+  // split of its own padding to keep stats() application-level. The
+  // single-shard pass honors the caller's choice exactly.
+  const bool want_results = slots > reals || out != nullptr;
+  const sim::sim_time local_start = sh.ctrl->now();
+  std::vector<request_result> results;
+  sh.ctrl->run(batch, want_results ? &results : nullptr);
+
+  if (want_results) {
+    for (std::size_t i = 0; i < reals && out != nullptr; ++i) {
+      completed done;
+      done.tag = tags[i];
+      done.result = std::move(results[i]);
+      // Completion-ordering layer: shard-local sim-time offsets map
+      // onto the global clock at the lane's start.
+      done.result.completion_time =
+          start + (done.result.completion_time - local_start);
+      out->push_back(std::move(done));
+    }
+    for (std::size_t i = reals; i < slots; ++i) {
+      ++stats_.pad_requests;
+      if (results[i].hit) {
+        ++stats_.pad_hits;
+      } else {
+        ++stats_.pad_misses;
+      }
+    }
+  }
+  stats_.real_requests += reals;
+  return sh.ctrl->now() - local_start;
+}
+
+void engine::log_rounds(std::uint64_t rounds) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    round_log_.push_back(
+        std::vector<std::uint32_t>(shards_.size(), round_cap_));
+    // Bounded window: long-lived services pump rounds forever, and the
+    // audits only ever need the recent shape history.
+    if (round_log_.size() > kRoundLogLimit) {
+      round_log_.pop_front();
+    }
+  }
+  stats_.rounds += rounds;
+}
+
+std::uint64_t engine::execute_round(std::vector<std::deque<routed>>& queues,
+                                    std::vector<completed>* out) {
+  const bool padded = shard_count() > 1;
+  const sim::sim_time round_start = now();
+  sim::sim_time longest = 0;
+  std::uint64_t serviced = 0;
+  const std::size_t out_base = out != nullptr ? out->size() : 0;
+
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    // Every shard executes the full public cap when sharding is on —
+    // real requests first, dummies after — so the per-shard bus shape
+    // carries no information about the routed bucket sizes.
+    const std::size_t reals =
+        padded ? std::min<std::size_t>(round_cap_, queues[s].size())
+               : queues[s].size();
+    const std::size_t slots = padded ? round_cap_ : reals;
+    if (slots == 0) {
+      continue;  // single-shard engine with an empty queue
+    }
+    longest = std::max(
+        longest, run_lane(s, queues[s], reals, slots, round_start, out));
+    serviced += reals;
+  }
+
+  if (padded) {
+    log_rounds(1);
+    // Lanes run in parallel: the round lasts its slowest shard.
+    global_now_ = round_start + longest;
+    if (out != nullptr) {
+      std::stable_sort(
+          out->begin() + static_cast<std::ptrdiff_t>(out_base), out->end(),
+          [](const completed& a, const completed& b) {
+            return a.result.completion_time < b.result.completion_time;
+          });
+    }
+  }
+  return serviced;
+}
+
+std::uint64_t engine::run_buckets(std::vector<std::deque<routed>>& buckets,
+                                  std::vector<completed>* out) {
+  const bool padded = shard_count() > 1;
+  const sim::sim_time start = now();
+  sim::sim_time longest = 0;
+  std::uint64_t serviced = 0;
+
+  // Open-loop batch execution: the whole bucket is known up front, so
+  // every lane runs independently — one controller batch per shard,
+  // padded up to a whole number of public-cap rounds — and the batch
+  // lasts the slowest lane. (The closed-loop incremental pump uses
+  // execute_round instead: one cap-sized round per step.)
+  std::uint64_t rounds = 0;
+  if (padded) {
+    for (const std::deque<routed>& bucket : buckets) {
+      const std::uint64_t need =
+          (bucket.size() + round_cap_ - 1) / round_cap_;
+      rounds = std::max(rounds, need);
+    }
+    if (rounds == 0) {
+      return 0;
+    }
+  }
+
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    const std::size_t reals = buckets[s].size();
+    const std::size_t slots = padded ? rounds * round_cap_ : reals;
+    if (slots == 0) {
+      continue;  // single-shard engine with an empty bucket
+    }
+    longest = std::max(longest,
+                       run_lane(s, buckets[s], reals, slots, start, out));
+    serviced += reals;
+  }
+
+  if (padded) {
+    log_rounds(rounds);
+    global_now_ = start + longest;
+  }
+  return serviced;
+}
+
+void engine::run(std::span<const request> requests,
+                 std::vector<request_result>* results) {
+  for (const request& req : requests) {
+    expects(req.id < config_.block_count, "request id out of range");
+  }
+  if (shard_count() == 1) {
+    // Exact historical path: one controller, one batch.
+    shards_[0]->ctrl->run(requests, results);
+    stats_.real_requests += requests.size();
+    return;
+  }
+  if (results != nullptr) {
+    results->assign(requests.size(), request_result{});
+  }
+  std::vector<std::deque<routed>> buckets(shard_count());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    routed entry;
+    entry.tag = i;
+    entry.req = requests[i];
+    entry.req.id = local_id_of_[requests[i].id];
+    buckets[shard_index_of_[requests[i].id]].push_back(std::move(entry));
+  }
+  std::vector<completed> done;
+  (void)run_buckets(buckets, results != nullptr ? &done : nullptr);
+  if (results != nullptr) {
+    for (completed& c : done) {
+      (*results)[c.tag] = std::move(c.result);
+    }
+  }
+}
+
+std::uint64_t engine::submit(request req) {
+  expects(req.id < config_.block_count, "request id out of range");
+  const std::uint32_t s = shard_of(req.id);
+  routed entry;
+  entry.tag = next_token_++;
+  entry.req = std::move(req);
+  entry.req.id = shard_local_id(entry.req.id);
+  const std::uint64_t token = entry.tag;
+  queues_[s].push_back(std::move(entry));
+  ++pending_total_;
+  return token;
+}
+
+bool engine::step_round(const completion& on_complete) {
+  if (pending_total_ == 0) {
+    return false;
+  }
+  std::vector<completed> done;
+  const std::uint64_t serviced =
+      execute_round(queues_, on_complete ? &done : nullptr);
+  pending_total_ -= serviced;
+  if (on_complete) {
+    for (completed& c : done) {
+      on_complete(c.tag, std::move(c.result));
+    }
+  }
+  return true;
+}
+
+void engine::drain(std::vector<request_result>* results) {
+  if (results != nullptr) {
+    results->clear();
+  }
+  if (pending_total_ == 0) {
+    return;
+  }
+  // The queue snapshot is a known batch: open-loop lane execution.
+  std::vector<completed> done;
+  pending_total_ -=
+      run_buckets(queues_, results != nullptr ? &done : nullptr);
+  invariant(pending_total_ == 0, "drain left requests behind");
+  if (results != nullptr) {
+    // Tokens are monotone in submission order.
+    std::sort(done.begin(), done.end(),
+              [](const completed& a, const completed& b) {
+                return a.tag < b.tag;
+              });
+    results->reserve(done.size());
+    for (completed& c : done) {
+      results->push_back(std::move(c.result));
+    }
+  }
+}
+
+std::uint64_t engine::round_budget() const {
+  return shards_.size() == 1
+             ? shards_[0]->ctrl->round_budget()
+             : static_cast<std::uint64_t>(shard_count()) * round_cap_;
+}
+
+sim::sim_time engine::now() const noexcept {
+  return shards_.size() == 1 ? shards_[0]->ctrl->now() : global_now_;
+}
+
+const controller_stats& engine::stats() const noexcept {
+  controller_stats total;
+  for (const std::unique_ptr<shard_state>& sh : shards_) {
+    total += sh->ctrl->stats();
+  }
+  // The router's padding traffic is invisible to applications: strip it
+  // from the request-level counters, keep the resource counters raw.
+  total.requests -= std::min(total.requests, stats_.pad_requests);
+  total.hits -= std::min(total.hits, stats_.pad_hits);
+  total.misses -= std::min(total.misses, stats_.pad_misses);
+  if (shards_.size() > 1) {
+    total.total_time = global_now_ - stats_epoch_;
+  }
+  aggregate_ = total;
+  return aggregate_;
+}
+
+void engine::reset_stats() noexcept {
+  for (const std::unique_ptr<shard_state>& sh : shards_) {
+    sh->ctrl->reset_stats();
+    if (sh->lane != nullptr) {
+      sh->lane->storage.reset_stats();
+      sh->lane->memory.reset_stats();
+    }
+  }
+  stats_ = engine_stats{};
+  round_log_.clear();
+  stats_epoch_ = now();
+}
+
+controller& engine::shard(std::uint32_t index) {
+  expects(index < shards_.size(), "shard index out of range");
+  return *shards_[index]->ctrl;
+}
+
+const controller& engine::shard(std::uint32_t index) const {
+  expects(index < shards_.size(), "shard index out of range");
+  return *shards_[index]->ctrl;
+}
+
+sim::block_device& engine::shard_storage(std::uint32_t index) {
+  expects(index < shards_.size(), "shard index out of range");
+  expects(shards_[index]->lane != nullptr,
+          "external-controller engines own no device lane");
+  return shards_[index]->lane->storage;
+}
+
+sim::block_device& engine::shard_memory(std::uint32_t index) {
+  expects(index < shards_.size(), "shard index out of range");
+  expects(shards_[index]->lane != nullptr,
+          "external-controller engines own no device lane");
+  return shards_[index]->lane->memory;
+}
+
+const oram::access_trace* engine::shard_trace(std::uint32_t index) const {
+  expects(index < shards_.size(), "shard index out of range");
+  const shard_state& sh = *shards_[index];
+  return sh.lane != nullptr && sh.lane->trace.has_value()
+             ? &*sh.lane->trace
+             : nullptr;
+}
+
+std::span<const oram::block_id> engine::shard_blocks(
+    std::uint32_t index) const {
+  expects(index < shards_.size(), "shard index out of range");
+  return shards_[index]->blocks;
+}
+
+std::uint64_t engine::control_memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<shard_state>& sh : shards_) {
+    total += sh->ctrl->control_memory_bytes();
+    total += sh->blocks.size() * sizeof(oram::block_id);
+  }
+  total += shard_index_of_.size() * sizeof(std::uint32_t);
+  total += local_id_of_.size() * sizeof(oram::block_id);
+  return total;
+}
+
+}  // namespace horam

@@ -1,0 +1,272 @@
+// Sharded ORAM engine: an oblivious batch-router over N independent
+// controller shards.
+//
+// A single controller funnels every request through one storage lane,
+// one shuffle period and one ROB, so throughput is capped by a single
+// device no matter how many tenants the service admits. The engine
+// stripes the block space over shard_count independent controllers —
+// each with its own backend instance, storage/memory device lanes, ROB
+// and shuffle period — and becomes the unit of execution the facade and
+// the tenant scheduler pump.
+//
+// Routing privacy: a bare deterministic shard index would let the bus
+// adversary count per-shard access frequencies and recover cross-shard
+// workload skew. Requests are therefore routed by a keyed SipHash PRF
+// over the block id (the mapping is secret and balanced), and the
+// engine executes in *rounds*: each round every shard runs exactly
+// round_cap() request slots — real requests from its queue, topped up
+// with dummy requests on uniformly random shard-local blocks — so the
+// per-shard bus shape is data-independent whatever the skew. A
+// completion-ordering layer maps shard-local completion sim-times back
+// onto the engine's global clock (lanes run in parallel: a round lasts
+// the slowest shard), so ticket/latency semantics are unchanged.
+//
+// shard_count == 1 degenerates to an exact pass-through around one
+// controller: no PRF, no padding, no time mapping — bit-for-bit the
+// historical single-controller behavior (tests assert this).
+#ifndef HORAM_CORE_ENGINE_H
+#define HORAM_CORE_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/controller.h"
+#include "crypto/siphash.h"
+#include "oram/common/access_trace.h"
+#include "oram/common/types.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "util/rng.h"
+
+namespace horam {
+
+/// Router-level counters, beyond the per-shard controller stats.
+struct engine_stats {
+  /// Padded router rounds executed (0 for single-shard engines, whose
+  /// batches pass straight through to the controller).
+  std::uint64_t rounds = 0;
+  /// Application requests serviced.
+  std::uint64_t real_requests = 0;
+  /// Dummy requests injected to pad shard rounds to the public cap.
+  std::uint64_t pad_requests = 0;
+  /// Hit/miss split of the padding traffic (control-layer knowledge;
+  /// lets stats() report application-level hit rates).
+  std::uint64_t pad_hits = 0;
+  std::uint64_t pad_misses = 0;
+};
+
+class engine {
+ public:
+  /// Builds the oblivious store of one shard over that shard's own
+  /// device lane. `shard_config` is the shard-local view (block_count =
+  /// the shard's share, shard-local id space); `shard_blocks` maps
+  /// shard-local ids back to global ids (empty = identity, the
+  /// single-shard case) so fillers can be rebased.
+  using shard_factory = std::function<std::unique_ptr<oram_backend>(
+      std::uint32_t shard_index, const horam_config& shard_config,
+      sim::block_device& storage, sim::block_device& memory,
+      const sim::cpu_model& cpu, util::random_source& rng,
+      oram::access_trace* trace,
+      std::span<const oram::block_id> shard_blocks)>;
+
+  /// Completion delivery for the incremental round API: the token
+  /// submit() returned and the request's result with completion_time
+  /// already mapped onto the engine's global clock.
+  using completion =
+      std::function<void(std::uint64_t token, request_result&& result)>;
+
+  /// Machine-lane parameters shared by every shard.
+  struct options {
+    sim::device_profile storage_profile;
+    sim::device_profile memory_profile;
+    std::uint64_t seed = 0;
+    /// Record each shard's observable bus trace (shard_trace()).
+    bool trace = false;
+  };
+
+  /// Owning constructor: assembles shard_count() device lanes, invokes
+  /// `factory` once per shard and wires one controller per shard.
+  /// `config` is the global view (block_count = whole dataset,
+  /// memory_blocks = total cache budget, split evenly across shards).
+  engine(const horam_config& config, const sim::cpu_model& cpu,
+         const shard_factory& factory, const options& opts);
+
+  /// Wraps one externally owned controller as a single pass-through
+  /// shard (multi_user_frontend compatibility). The engine owns no
+  /// devices; reset_stats() touches only the controller.
+  explicit engine(controller& external);
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+  ~engine();  // defined where shard_state is complete
+
+  // ----------------------------------------------------------- routing
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Shard owning global block `id` (keyed PRF; identity-0 for one
+  /// shard).
+  [[nodiscard]] std::uint32_t shard_of(oram::block_id id) const;
+  /// `id` translated into its shard's local block space.
+  [[nodiscard]] oram::block_id shard_local_id(oram::block_id id) const;
+  /// Request slots every shard executes per round (public by design).
+  [[nodiscard]] std::uint32_t round_cap() const noexcept {
+    return round_cap_;
+  }
+
+  // --------------------------------------------------------- batch API
+
+  /// Routes and services `requests` to completion without touching the
+  /// incremental queue; per-request results land in submission order
+  /// when `results` is non-null. One shard: a single controller batch,
+  /// identical to the historical controller::run. Several: padded
+  /// rounds until every bucket drains.
+  void run(std::span<const request> requests,
+           std::vector<request_result>* results = nullptr);
+
+  // --------------------------------------- incremental round API
+  // (tenant_scheduler / horam::service pump these)
+
+  /// Validates and queues one request on its shard; returns a token
+  /// identifying it in step_round() completions.
+  std::uint64_t submit(request req);
+  /// Requests queued but not yet serviced.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_total_;
+  }
+  /// Executes one engine round: every shard with work runs round_cap()
+  /// request slots (all queued ones when shard_count == 1), lanes in
+  /// parallel, completions delivered in global completion order.
+  /// Returns false (doing nothing) when no request is queued.
+  bool step_round(const completion& on_complete = {});
+  /// Pumps rounds until the queue drains; per-request results (in
+  /// submission order) are captured when `results` is non-null.
+  void drain(std::vector<request_result>* results = nullptr);
+
+  /// Requests an incremental pump should submit per scheduling round:
+  /// the single controller's refill target, or shard_count * round_cap.
+  [[nodiscard]] std::uint64_t round_budget() const;
+
+  // ------------------------------------------------------ introspection
+
+  /// Global virtual time: the single controller's clock, or the
+  /// parallel-lane clock (rounds last their slowest shard).
+  [[nodiscard]] sim::sim_time now() const noexcept;
+  [[nodiscard]] const horam_config& config() const noexcept {
+    return config_;
+  }
+  /// Aggregated controller counters across shards. Request-level
+  /// counters (requests / hits / misses) exclude the router's padding
+  /// traffic so hit rates and throughput stay application-level;
+  /// resource counters (cycles, loads, busy times) stay raw, and
+  /// total_time is the parallel wall-clock window.
+  [[nodiscard]] const controller_stats& stats() const noexcept;
+  [[nodiscard]] const engine_stats& router_stats() const noexcept {
+    return stats_;
+  }
+  /// Zeroes every shard's controller and device counters plus the
+  /// router counters and round log; restarts the wall-clock window.
+  void reset_stats() noexcept;
+
+  /// Bus-visible shape of recent padded router rounds (a bounded window
+  /// of the most recent kRoundLogLimit rounds since the last reset):
+  /// per round, the request-slot count each shard executed. Always
+  /// round_cap() by construction — data-independence the audits assert;
+  /// empty for single-shard engines (pure pass-through, no router).
+  [[nodiscard]] const std::deque<std::vector<std::uint32_t>>& round_log()
+      const noexcept {
+    return round_log_;
+  }
+  /// Retention bound of round_log() — big enough for every audit, small
+  /// enough that a service pumping rounds forever stays bounded.
+  static constexpr std::size_t kRoundLogLimit = 16384;
+
+  [[nodiscard]] controller& shard(std::uint32_t index);
+  [[nodiscard]] const controller& shard(std::uint32_t index) const;
+  /// The shard's device lane (null device accessors are invalid for the
+  /// external-controller shim, which owns no lane).
+  [[nodiscard]] sim::block_device& shard_storage(std::uint32_t index);
+  [[nodiscard]] sim::block_device& shard_memory(std::uint32_t index);
+  /// The shard's bus trace (null when tracing is off).
+  [[nodiscard]] const oram::access_trace* shard_trace(
+      std::uint32_t index) const;
+  /// Global ids of the blocks shard `index` owns (empty = identity,
+  /// the single-shard case).
+  [[nodiscard]] std::span<const oram::block_id> shard_blocks(
+      std::uint32_t index) const;
+
+  /// Trusted-memory bytes: every shard's control layer plus the
+  /// router's id-translation tables.
+  [[nodiscard]] std::uint64_t control_memory_bytes() const;
+
+ private:
+  /// One routed-but-unserviced request (id already shard-local).
+  struct routed {
+    std::uint64_t tag = 0;
+    request req;
+  };
+  /// One serviced request with its globally mapped result.
+  struct completed {
+    std::uint64_t tag = 0;
+    request_result result;
+  };
+
+  struct shard_state;
+
+  [[nodiscard]] std::uint32_t derive_round_cap() const;
+  /// Executes one padded round over `queues` (per-shard routed
+  /// requests); appends completions to `out` (null = discard results)
+  /// and returns the number of real requests serviced.
+  std::uint64_t execute_round(std::vector<std::deque<routed>>& queues,
+                              std::vector<completed>* out);
+  /// Open-loop execution of a whole known batch: each lane runs its
+  /// entire bucket, padded to a whole number of cap rounds, as one
+  /// controller batch; lanes overlap, the batch lasts the slowest one.
+  std::uint64_t run_buckets(std::vector<std::deque<routed>>& buckets,
+                            std::vector<completed>* out);
+  /// Shared lane executor: pops `reals` requests off `queue`, pads to
+  /// `slots` dummy-topped request slots, runs them on shard `index` and
+  /// maps completions onto the global clock at `start`; returns the
+  /// lane's elapsed virtual time.
+  sim::sim_time run_lane(std::uint32_t index, std::deque<routed>& queue,
+                         std::size_t reals, std::size_t slots,
+                         sim::sim_time start, std::vector<completed>* out);
+  /// Appends `rounds` uniform cap-per-shard entries to the bounded
+  /// round log.
+  void log_rounds(std::uint64_t rounds);
+
+  horam_config config_;
+  crypto::siphash_key route_key_{};
+  std::vector<std::unique_ptr<shard_state>> shards_;
+  /// Global-id routing tables (empty for one shard: identity).
+  std::vector<std::uint32_t> shard_index_of_;
+  std::vector<oram::block_id> local_id_of_;
+
+  std::uint32_t round_cap_ = 0;
+  /// Parallel-lane global clock (shard_count > 1; one shard reads the
+  /// controller's clock directly).
+  sim::sim_time global_now_ = 0;
+  /// Wall-clock origin of the current stats window.
+  sim::sim_time stats_epoch_ = 0;
+
+  /// Incremental queues, one per shard, tags = submit() tokens.
+  std::vector<std::deque<routed>> queues_;
+  std::size_t pending_total_ = 0;
+  std::uint64_t next_token_ = 1;
+
+  engine_stats stats_;
+  std::deque<std::vector<std::uint32_t>> round_log_;
+  /// Cache backing the stats() reference.
+  mutable controller_stats aggregate_;
+};
+
+}  // namespace horam
+
+#endif  // HORAM_CORE_ENGINE_H

@@ -10,13 +10,13 @@ namespace horam {
 
 // --------------------------------------------------- tenant_scheduler
 
-tenant_scheduler::tenant_scheduler(controller& ctrl,
+tenant_scheduler::tenant_scheduler(engine& eng,
                                    std::unique_ptr<fairness_policy> policy,
                                    std::size_t max_queue_depth)
-    : controller_(ctrl),
+    : engine_(eng),
       policy_(std::move(policy)),
       max_queue_depth_(max_queue_depth),
-      stats_epoch_(ctrl.now()) {
+      stats_epoch_(eng.now()) {
   expects(policy_ != nullptr, "tenant_scheduler needs a fairness policy");
 }
 
@@ -39,7 +39,7 @@ void tenant_scheduler::grant(std::uint32_t tenant, user_grant grant) {
 
 std::uint64_t tenant_scheduler::enqueue(std::uint32_t tenant, request req) {
   expects(tenant < lanes_.size(), "enqueue for unknown tenant");
-  expects(req.id < controller_.config().block_count,
+  expects(req.id < engine_.config().block_count,
           "request id out of range");
   // Access control before anything is queued: a rejected request leaves
   // no observable trace.
@@ -65,7 +65,7 @@ std::uint64_t tenant_scheduler::enqueue(std::uint32_t tenant, request req) {
   req.user = tenant;
   queued_request entry;
   entry.seq = next_seq_++;
-  entry.submitted = controller_.now();
+  entry.submitted = engine_.now();
   entry.req = std::move(req);
   target.queue.push_back(std::move(entry));
   ++target.stats.submitted;
@@ -74,23 +74,21 @@ std::uint64_t tenant_scheduler::enqueue(std::uint32_t tenant, request req) {
 }
 
 bool tenant_scheduler::step(const completion& on_complete) {
-  if (queued_total_ == 0) {
+  if (queued_total_ == 0 && inflight_.empty()) {
     return false;
   }
 
   // One scheduling round: pop up to round_budget() requests, one policy
-  // pick at a time, so the controller's prefetch window stays full while
-  // tenants interleave at request granularity.
-  struct picked_meta {
-    std::uint32_t tenant = 0;
-    std::uint64_t seq = 0;
-    sim::sim_time submitted = 0;
-  };
-  const std::uint64_t budget = controller_.round_budget();
-  std::vector<request> batch;
-  std::vector<picked_meta> meta;
-  batch.reserve(budget);
-  meta.reserve(budget);
+  // pick at a time, so the engine's shard rounds stay full while
+  // tenants interleave at request granularity. The engine's own backlog
+  // counts against the budget: with skewed routing a hot shard drains
+  // slower than the pops arrive, and without this cap the in-engine
+  // queue would grow without bound while the per-tenant admission
+  // limits (which guard the *admission* queues) never fire.
+  const std::uint64_t budget = engine_.round_budget();
+  const std::uint64_t backlog = engine_.pending();
+  const std::uint64_t available = backlog >= budget ? 0 : budget - backlog;
+  std::uint64_t handed = 0;
 
   // Build the policy's view once per round and maintain it in place:
   // only the picked lane's fields change between picks, so a round is
@@ -104,7 +102,7 @@ bool tenant_scheduler::step(const completion& on_complete) {
                                   lanes_[tenant].serviced});
     }
   }
-  while (meta.size() < budget && !views.empty()) {
+  while (handed < available && !views.empty()) {
     const std::size_t choice = policy_->pick(views);
     invariant(choice < views.size(), "fairness policy picked no lane");
     lane& source = lanes_[views[choice].tenant];
@@ -115,9 +113,11 @@ bool tenant_scheduler::step(const completion& on_complete) {
         (static_cast<double>(source.serviced) + 1.0) / source.weight);
     ++source.serviced;
     --queued_total_;
-    meta.push_back(picked_meta{views[choice].tenant, entry.seq,
-                               entry.submitted});
-    batch.push_back(std::move(entry.req));
+    ++source.inflight;
+    const std::uint64_t token = engine_.submit(std::move(entry.req));
+    inflight_.emplace(token, inflight_meta{views[choice].tenant,
+                                           entry.seq, entry.submitted});
+    ++handed;
     if (--views[choice].queued == 0) {
       views.erase(views.begin() + static_cast<std::ptrdiff_t>(choice));
     } else {
@@ -125,21 +125,27 @@ bool tenant_scheduler::step(const completion& on_complete) {
     }
   }
 
-  std::vector<request_result> results;
-  controller_.run(batch, &results);
-
-  for (std::size_t i = 0; i < meta.size(); ++i) {
+  // One engine round; the completion-ordering layer delivers finished
+  // requests with completion_time already on the global clock.
+  engine_.step_round([&](std::uint64_t token, request_result&& result) {
+    const auto it = inflight_.find(token);
+    invariant(it != inflight_.end(),
+              "engine completed an unknown request token");
+    const inflight_meta meta = it->second;
+    inflight_.erase(it);
+    lane& owner = lanes_[meta.tenant];
+    invariant(owner.inflight > 0, "inflight underflow");
+    --owner.inflight;
     const sim::sim_time latency =
-        results[i].completion_time - meta[i].submitted;
-    tenant_stats& ts = lanes_[meta[i].tenant].stats;
+        result.completion_time - meta.submitted;
+    tenant_stats& ts = owner.stats;
     ++ts.completed;
     ts.total_latency += latency;
     ts.max_latency = std::max(ts.max_latency, latency);
     if (on_complete) {
-      on_complete(meta[i].tenant, meta[i].seq, std::move(results[i]),
-                  latency);
+      on_complete(meta.tenant, meta.seq, std::move(result), latency);
     }
-  }
+  });
   return true;
 }
 
@@ -150,14 +156,14 @@ void tenant_scheduler::run_until_idle(const completion& on_complete) {
 
 std::size_t tenant_scheduler::queued(std::uint32_t tenant) const {
   expects(tenant < lanes_.size(), "queued() for unknown tenant");
-  return lanes_[tenant].queue.size();
+  return lanes_[tenant].queue.size() + lanes_[tenant].inflight;
 }
 
 tenant_stats tenant_scheduler::stats(std::uint32_t tenant) const {
   expects(tenant < lanes_.size(), "stats() for unknown tenant");
   tenant_stats snapshot = lanes_[tenant].stats;
-  snapshot.queued = lanes_[tenant].queue.size();
-  const sim::sim_time elapsed = controller_.now() - stats_epoch_;
+  snapshot.queued = lanes_[tenant].queue.size() + lanes_[tenant].inflight;
+  const sim::sim_time elapsed = engine_.now() - stats_epoch_;
   snapshot.throughput =
       elapsed > 0 ? static_cast<double>(snapshot.completed) * 1e9 /
                         static_cast<double>(elapsed)
@@ -171,11 +177,12 @@ void tenant_scheduler::reset_stats() {
     l.stats = tenant_stats{};
     l.stats.tenant = tenant;
     l.stats.weight = l.weight;
-    // Requests still queued stay admitted and will complete after the
-    // reset; count them as submitted in the new epoch.
-    l.stats.submitted = l.queue.size();
+    // Requests still queued or riding in the engine stay admitted and
+    // will complete after the reset; count them as submitted in the new
+    // epoch.
+    l.stats.submitted = l.queue.size() + l.inflight;
   }
-  stats_epoch_ = controller_.now();
+  stats_epoch_ = engine_.now();
 }
 
 // ------------------------------------------------ multi_user_frontend
@@ -187,7 +194,7 @@ void multi_user_frontend::grant(std::uint32_t user, user_grant grant) {
 
 multi_user_summary multi_user_frontend::run(
     std::vector<std::vector<request>> per_user) {
-  tenant_scheduler sched(controller_,
+  tenant_scheduler sched(shim_,
                          make_fairness_policy(fairness_kind::round_robin));
   for (std::uint32_t user = 0; user < per_user.size(); ++user) {
     sched.add_tenant();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/engine.h"
 #include "core/fairness.h"
 
 namespace horam {
@@ -107,27 +108,31 @@ struct tenant_stats {
   }
 };
 
-/// Incremental cross-tenant scheduler over one controller.
+/// Incremental cross-tenant scheduler over one sharded engine.
 ///
 /// Admission (enqueue) validates the block id and the tenant's grant
 /// immediately — a rejected request leaves no observable trace — and
 /// enforces the optional per-tenant queue-depth limit. step() serves one
-/// scheduling round: it pops up to controller.round_budget() requests,
-/// one fairness_policy pick at a time, runs them through the controller
-/// (which groups them into shared cycles), and reports each completion
-/// through the callback with its simulated queueing + service latency.
+/// scheduling round: it pops up to engine.round_budget() requests, one
+/// fairness_policy pick at a time, hands them to the engine's batch
+/// router (which buckets them across shards and pads each shard's round
+/// to the public cap), and reports each completion through the callback
+/// with its simulated queueing + service latency. With one shard every
+/// popped request completes within the same step — the historical
+/// single-controller behavior; with several, requests may ride in the
+/// engine for a few rounds and complete in a later step.
 class tenant_scheduler {
  public:
   /// Completion delivery: tenant, the sequence number enqueue()
-  /// returned, the controller's result, and the simulated latency.
+  /// returned, the engine's result (completion_time on the global
+  /// clock), and the simulated latency.
   using completion = std::function<void(
       std::uint32_t tenant, std::uint64_t seq, request_result&& result,
       sim::sim_time latency)>;
 
   /// `max_queue_depth` bounds each tenant's admission queue
   /// (0 = unlimited).
-  tenant_scheduler(controller& ctrl,
-                   std::unique_ptr<fairness_policy> policy,
+  tenant_scheduler(engine& eng, std::unique_ptr<fairness_policy> policy,
                    std::size_t max_queue_depth = 0);
 
   /// Registers a tenant with relative share weight `weight` (> 0);
@@ -150,10 +155,13 @@ class tenant_scheduler {
   /// Pumps step() until every queue is drained.
   void run_until_idle(const completion& on_complete = {});
 
-  [[nodiscard]] bool idle() const noexcept { return queued_total_ == 0; }
-  /// Requests admitted but not yet serviced, across all tenants.
+  [[nodiscard]] bool idle() const noexcept {
+    return queued_total_ == 0 && inflight_.empty();
+  }
+  /// Requests admitted but not yet serviced, across all tenants
+  /// (admission queues plus requests riding in the engine).
   [[nodiscard]] std::size_t queued() const noexcept {
-    return queued_total_;
+    return queued_total_ + inflight_.size();
   }
   [[nodiscard]] std::size_t queued(std::uint32_t tenant) const;
   [[nodiscard]] std::size_t tenant_count() const noexcept {
@@ -181,17 +189,27 @@ class tenant_scheduler {
   struct lane {
     double weight = 1.0;
     std::deque<queued_request> queue;
+    /// Requests handed to the engine but not yet completed.
+    std::size_t inflight = 0;
     /// Lifetime service count the fairness policy sees (never reset, so
     /// a stats reset cannot cause a proportional-share catch-up burst).
     std::uint64_t serviced = 0;
     tenant_stats stats;
   };
+  /// What we remember about a request riding in the engine, keyed by
+  /// the engine's submit token.
+  struct inflight_meta {
+    std::uint32_t tenant = 0;
+    std::uint64_t seq = 0;
+    sim::sim_time submitted = 0;
+  };
 
-  controller& controller_;
+  engine& engine_;
   std::unique_ptr<fairness_policy> policy_;
   std::size_t max_queue_depth_;
   std::vector<lane> lanes_;
   std::unordered_map<std::uint32_t, user_grant> grants_;
+  std::unordered_map<std::uint64_t, inflight_meta> inflight_;
   std::size_t queued_total_ = 0;
   std::uint64_t next_seq_ = 1;
   /// WFQ virtual clock: the highest pass ((serviced + 1) / weight) ever
@@ -210,7 +228,9 @@ class tenant_scheduler {
 /// directly.
 class multi_user_frontend {
  public:
-  explicit multi_user_frontend(controller& ctrl) : controller_(ctrl) {}
+  /// Wraps a bare controller as a single pass-through engine shard.
+  explicit multi_user_frontend(controller& ctrl)
+      : controller_(ctrl), shim_(ctrl) {}
 
   /// Restricts user `user` to `grant`. Users without a grant may touch
   /// everything (single-tenant compatibility).
@@ -225,6 +245,9 @@ class multi_user_frontend {
 
  private:
   controller& controller_;
+  /// Single-shard engine view of the wrapped controller, pumped by the
+  /// tenant_scheduler each run().
+  engine shim_;
   std::unordered_map<std::uint32_t, user_grant> grants_;
 };
 

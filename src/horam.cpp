@@ -1,37 +1,52 @@
 #include "horam.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/contracts.h"
 
 namespace horam {
 
-std::string_view backend_name(backend_kind kind) {
-  switch (kind) {
-    case backend_kind::partitioned: return "partitioned";
-    case backend_kind::sqrt: return "sqrt";
-    case backend_kind::partition: return "partition";
-    case backend_kind::path: return "path";
-  }
-  return "?";
-}
+namespace {
 
-backend_kind backend_by_name(std::string_view name) {
-  if (name == "partitioned" || name == "horam") {
+/// The one canonical name list; index-aligned with all_backend_kinds.
+constexpr std::string_view kBackendNames[] = {"partitioned", "sqrt",
+                                              "partition", "path"};
+static_assert(std::size(kBackendNames) == std::size(all_backend_kinds),
+              "backend name list out of sync with all_backend_kinds");
+
+/// Name-parse shared by backend_by_name and the builder's named setter
+/// (so both report the same candidates); nullopt on unknown names.
+std::optional<backend_kind> parse_backend_name(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kBackendNames); ++i) {
+    if (name == kBackendNames[i]) {
+      return all_backend_kinds[i];
+    }
+  }
+  if (name == "horam") {
     return backend_kind::partitioned;
   }
-  if (name == "sqrt") {
-    return backend_kind::sqrt;
-  }
-  if (name == "partition") {
-    return backend_kind::partition;
-  }
-  if (name == "path" || name == "path-oram") {
+  if (name == "path-oram") {
     return backend_kind::path;
   }
-  expects(false,
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view backend_name(backend_kind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  expects(index < std::size(kBackendNames), "unknown backend kind");
+  return kBackendNames[index];
+}
+
+std::span<const std::string_view> backend_names() { return kBackendNames; }
+
+backend_kind backend_by_name(std::string_view name) {
+  const std::optional<backend_kind> kind = parse_backend_name(name);
+  expects(kind.has_value(),
           "unknown backend name (partitioned | sqrt | partition | path)");
-  return backend_kind::partitioned;
+  return *kind;
 }
 
 sim::device_profile storage_profile_by_name(std::string_view name) {
@@ -76,27 +91,15 @@ std::unique_ptr<oram_backend> make_backend(
   return nullptr;
 }
 
-/// Everything a client owns, constructed in dependency order.
+/// Everything a client owns: the CPU model and the sharded engine,
+/// which in turn owns every shard's device lane, RNG, trace, backend
+/// and controller.
 struct client::machine_state {
-  sim::block_device storage;
-  sim::block_device memory;
   sim::cpu_model cpu;
-  util::pcg64 rng;
-  std::optional<oram::access_trace> trace;
-  std::unique_ptr<controller> ctrl;
+  std::unique_ptr<engine> eng;
 
-  machine_state(const sim::device_profile& storage_profile,
-                const sim::device_profile& memory_profile,
-                const sim::cpu_profile& cpu_profile, std::uint64_t seed,
-                bool with_trace)
-      : storage(storage_profile),
-        memory(memory_profile),
-        cpu(cpu_profile),
-        rng(seed) {
-    if (with_trace) {
-      trace.emplace();
-    }
-  }
+  explicit machine_state(const sim::cpu_profile& cpu_profile)
+      : cpu(cpu_profile) {}
 };
 
 client::client(std::unique_ptr<machine_state> state, backend_kind kind)
@@ -108,71 +111,91 @@ client& client::operator=(client&&) noexcept = default;
 client::~client() = default;
 
 std::vector<std::uint8_t> client::read(oram::block_id id) {
-  return state_->ctrl->read(id);
+  std::vector<request> batch(1);
+  batch[0].op = oram::op_kind::read;
+  batch[0].id = id;
+  std::vector<request_result> results;
+  state_->eng->run(batch, &results);
+  return std::move(results[0].read_data);
 }
 
 void client::write(oram::block_id id, std::span<const std::uint8_t> data) {
-  state_->ctrl->write(id, data);
+  std::vector<request> batch(1);
+  batch[0].op = oram::op_kind::write;
+  batch[0].id = id;
+  batch[0].write_data.assign(data.begin(), data.end());
+  state_->eng->run(batch, nullptr);
 }
 
 void client::run(std::span<const request> requests,
                  std::vector<request_result>* results) {
-  state_->ctrl->run(requests, results);
+  state_->eng->run(requests, results);
 }
 
-void client::submit(request req) { state_->ctrl->submit(std::move(req)); }
+void client::submit(request req) {
+  (void)state_->eng->submit(std::move(req));
+}
 
 void client::submit(std::span<const request> requests) {
-  state_->ctrl->submit(requests);
+  // Validate the whole batch before queueing so a bad id cannot leave a
+  // partial prefix in the session queue.
+  for (const request& req : requests) {
+    expects(req.id < config().block_count, "request id out of range");
+  }
+  for (const request& req : requests) {
+    (void)state_->eng->submit(req);
+  }
 }
 
 std::size_t client::pending() const noexcept {
-  return state_->ctrl->pending();
+  return state_->eng->pending();
 }
 
 void client::drain(std::vector<request_result>* results) {
-  state_->ctrl->drain(results);
+  state_->eng->drain(results);
 }
 
 const controller_stats& client::stats() const noexcept {
-  return state_->ctrl->stats();
+  return state_->eng->stats();
 }
 
-void client::reset_stats() noexcept {
-  state_->ctrl->reset_stats();
-  state_->storage.reset_stats();
-  state_->memory.reset_stats();
-}
+void client::reset_stats() noexcept { state_->eng->reset_stats(); }
 
-sim::sim_time client::now() const noexcept { return state_->ctrl->now(); }
+sim::sim_time client::now() const noexcept { return state_->eng->now(); }
 
 const horam_config& client::config() const noexcept {
-  return state_->ctrl->config();
+  return state_->eng->config();
 }
 
 const oram_backend& client::backend() const noexcept {
-  return state_->ctrl->backend();
+  return state_->eng->shard(0).backend();
 }
 
 const oram::access_trace* client::trace() const noexcept {
-  return state_->trace.has_value() ? &*state_->trace : nullptr;
+  return state_->eng->shard_trace(0);
 }
 
 sim::block_device& client::storage_device() noexcept {
-  return state_->storage;
+  return state_->eng->shard_storage(0);
 }
 
 sim::block_device& client::memory_device() noexcept {
-  return state_->memory;
+  return state_->eng->shard_memory(0);
 }
 
 std::uint64_t client::control_memory_bytes() const {
-  return state_->ctrl->control_memory_bytes();
+  return state_->eng->control_memory_bytes();
 }
 
-controller& client::ctrl() noexcept { return *state_->ctrl; }
+engine& client::eng() noexcept { return *state_->eng; }
 
-const controller& client::ctrl() const noexcept { return *state_->ctrl; }
+const engine& client::eng() const noexcept { return *state_->eng; }
+
+controller& client::ctrl() noexcept { return state_->eng->shard(0); }
+
+const controller& client::ctrl() const noexcept {
+  return state_->eng->shard(0);
+}
 
 client_builder& client_builder::blocks(std::uint64_t n) {
   config_.block_count = n;
@@ -208,6 +231,20 @@ client_builder& client_builder::bucket_size(std::uint32_t z) {
 
 client_builder& client_builder::backend(backend_kind kind) {
   kind_ = kind;
+  return *this;
+}
+
+client_builder& client_builder::backend(std::string_view name) {
+  const std::optional<backend_kind> kind = parse_backend_name(name);
+  expects(kind.has_value(),
+          "client_builder: backend() got an unknown name "
+          "(partitioned | sqrt | partition | path)");
+  kind_ = *kind;
+  return *this;
+}
+
+client_builder& client_builder::shards(std::uint32_t count) {
+  config_.shard_count = count;
   return *this;
 }
 
@@ -324,21 +361,61 @@ client client_builder::build() const {
   expects(config.memory_blocks / 2 < config.block_count,
           "client_builder: memory_blocks() must be well below blocks() — "
           "memory as large as the dataset needs no storage layer");
+  expects(config.shard_count >= 1,
+          "client_builder: shards() must be at least 1");
+  if (config.shard_count > 1) {
+    expects(config.shard_count <= config.block_count,
+            "client_builder: shards() exceeds blocks() — a shard would "
+            "own no blocks");
+    expects(config.memory_blocks / config.shard_count >=
+                2 * config.bucket_size,
+            "client_builder: shards() splits memory_blocks() below one "
+            "bucket pair (2 * bucket_size()) per shard — lower shards() "
+            "or raise memory_blocks()");
+  }
   config.validate();
 
-  auto state = std::make_unique<client::machine_state>(
-      storage_profile_, memory_profile_, cpu_profile_, seed_, trace_);
-  oram::access_trace* trace_ptr =
-      state->trace.has_value() ? &*state->trace : nullptr;
-  const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
-      filler_ptr = filler_ ? &filler_ : nullptr;
+  auto state = std::make_unique<client::machine_state>(cpu_profile_);
 
-  std::unique_ptr<oram_backend> backend =
-      make_backend(kind_, config, state->storage, state->cpu, state->rng,
-                   trace_ptr, filler_ptr, &state->memory);
-  state->ctrl = std::make_unique<controller>(config, std::move(backend),
-                                             state->memory, state->cpu,
-                                             state->rng, trace_ptr);
+  engine::options opts;
+  opts.storage_profile = storage_profile_;
+  opts.memory_profile = memory_profile_;
+  opts.seed = seed_;
+  opts.trace = trace_;
+
+  // Per-shard backend factory: each shard gets its own store over its
+  // own device lane; the filler is rebased from shard-local to global
+  // ids (identity for a single shard, so the historical construction
+  // path is untouched).
+  const backend_kind kind = kind_;
+  const auto& filler = filler_;
+  const engine::shard_factory factory =
+      [kind, &filler](std::uint32_t /*shard_index*/,
+                      const horam_config& shard_config,
+                      sim::block_device& storage, sim::block_device& memory,
+                      const sim::cpu_model& cpu, util::random_source& rng,
+                      oram::access_trace* trace,
+                      std::span<const oram::block_id> shard_blocks) {
+        std::function<void(oram::block_id, std::span<std::uint8_t>)>
+            rebased;
+        const std::function<void(oram::block_id, std::span<std::uint8_t>)>*
+            fill_ptr = nullptr;
+        if (filler) {
+          if (shard_blocks.empty()) {
+            fill_ptr = &filler;
+          } else {
+            rebased = [&filler, shard_blocks](
+                          oram::block_id local,
+                          std::span<std::uint8_t> out) {
+              filler(shard_blocks[local], out);
+            };
+            fill_ptr = &rebased;
+          }
+        }
+        return make_backend(kind, shard_config, storage, cpu, rng, trace,
+                            fill_ptr, &memory);
+      };
+  state->eng = std::make_unique<engine>(config, state->cpu, factory, opts);
   return client(std::move(state), kind_);
 }
 
@@ -368,9 +445,9 @@ struct service::impl {
 
   impl(client&& machine, service_config config)
       : oram(std::move(machine)),
-        // The controller lives on the heap behind machine_state, so the
+        // The engine lives on the heap behind machine_state, so the
         // reference stays valid across the client move above.
-        sched(oram.ctrl(),
+        sched(oram.eng(),
               config.custom_policy
                   ? config.custom_policy()
                   : make_fairness_policy(config.policy),

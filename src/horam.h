@@ -37,19 +37,34 @@
 //   svc.run_until_idle();              // or: t.result() pumps for you
 //   const horam::ticket_result& r = t.result();  // payload, latency
 //
-// Layering (Figure 4-1 of the paper, plus the service layer):
+// Scaling out is one more builder call: shards(n) stripes the block
+// space over n independent controller shards behind an oblivious batch
+// router (core/engine.h) — requests route by a keyed PRF over the block
+// id, every shard's round is padded to a public cap so the per-shard
+// bus shape stays data-independent, and shards(1) is bit-for-bit the
+// historical single-controller machine.
+//
+// Layering (Figure 4-1 of the paper, plus the service and engine
+// layers):
 //
 //   application ──► service / sessions (async multi-tenant API:
 //                     │                 tickets, fairness, grants)
-//                     └─► client (this facade)
-//                           └─► controller  — cache tree + ROB + scheduler
-//                                 └─► oram_backend — pluggable store
-//                                       ├─ partitioned (§4.1.3, default)
-//                                       ├─ sqrt        (Goldreich-Ostrovsky)
-//                                       ├─ partition   (Stefanov et al.)
-//                                       └─ path        (Path ORAM +
-//                                             │         recursive map)
-//                                             └─► sim::block_device
+//                     └─► tenant scheduler — fairness picks, admission
+//                           └─► engine — oblivious batch-router:
+//                                 │       PRF routing, padded rounds,
+//                                 │       completion ordering
+//                                 ├─► controller shard 0 ─┐ cache tree,
+//                                 ├─► controller shard 1 ─┤ ROB, secure
+//                                 └─► ...                 ┘ scheduler
+//                                       └─► oram_backend — pluggable
+//                                             │  per-shard store
+//                                             ├─ partitioned (§4.1.3)
+//                                             ├─ sqrt
+//                                             ├─ partition
+//                                             └─ path (Path ORAM +
+//                                                   │   recursive map)
+//                                                   └─► per-shard
+//                                                       sim devices
 #ifndef HORAM_HORAM_H
 #define HORAM_HORAM_H
 
@@ -62,6 +77,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/engine.h"
 #include "core/fairness.h"
 #include "core/multi_user.h"
 #include "core/oram_backend.h"
@@ -96,7 +112,13 @@ inline constexpr backend_kind all_backend_kinds[] = {
 /// ("partitioned" / "sqrt" / "partition" / "path").
 [[nodiscard]] std::string_view backend_name(backend_kind kind);
 
-/// Parses a backend name; throws contract_error on unknown names.
+/// The canonical backend names, index-aligned with all_backend_kinds —
+/// the single list name parsing, CLIs, benches and tests share, so
+/// adding a backend never chases hard-coded string quartets again.
+[[nodiscard]] std::span<const std::string_view> backend_names();
+
+/// Parses a backend name (canonical names plus the aliases "horam" and
+/// "path-oram"); throws contract_error on unknown names.
 [[nodiscard]] backend_kind backend_by_name(std::string_view name);
 
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
@@ -142,23 +164,36 @@ class client {
   void drain(std::vector<request_result>* results = nullptr);
 
   // --- Introspection. ---
+  /// Controller counters, aggregated across shards (application-level:
+  /// the router's padding traffic is excluded from requests / hits /
+  /// misses; see engine::stats()).
   [[nodiscard]] const controller_stats& stats() const noexcept;
-  /// Zeroes the controller and device counters (benches exclude
-  /// warm-up); virtual time keeps running.
+  /// Zeroes every shard's controller and device counters plus the
+  /// router counters (benches exclude warm-up); virtual time keeps
+  /// running.
   void reset_stats() noexcept;
   [[nodiscard]] sim::sim_time now() const noexcept;
   [[nodiscard]] const horam_config& config() const noexcept;
   [[nodiscard]] backend_kind kind() const noexcept { return kind_; }
+  /// Shard 0's oblivious store (exact for shards(1); per-shard stores
+  /// via eng().shard(i).backend()).
   [[nodiscard]] const oram_backend& backend() const noexcept;
-  /// The bus trace, when the builder enabled tracing (null otherwise).
+  /// Shard 0's bus trace, when the builder enabled tracing (null
+  /// otherwise; per-shard traces via eng().shard_trace(i)).
   [[nodiscard]] const oram::access_trace* trace() const noexcept;
+  /// Shard 0's device lane (per-shard lanes via eng()).
   [[nodiscard]] sim::block_device& storage_device() noexcept;
   [[nodiscard]] sim::block_device& memory_device() noexcept;
   /// Trusted-memory bytes of the control layer (reporting).
   [[nodiscard]] std::uint64_t control_memory_bytes() const;
 
-  /// The underlying controller, for layers that compose on it (e.g.
-  /// multi_user_frontend) and for geometry-aware audits.
+  /// The sharded engine, for layers that compose on it (the tenant
+  /// scheduler) and for routing/round-shape audits.
+  [[nodiscard]] engine& eng() noexcept;
+  [[nodiscard]] const engine& eng() const noexcept;
+
+  /// Shard 0's controller — exact for shards(1) clients (geometry-aware
+  /// audits, historical composition); per-shard via eng().shard(i).
   [[nodiscard]] controller& ctrl() noexcept;
   [[nodiscard]] const controller& ctrl() const noexcept;
 
@@ -206,6 +241,14 @@ class client_builder {
 
   /// Which oblivious store to front (default: partitioned).
   client_builder& backend(backend_kind kind);
+  /// Backend by name (see backend_names()), for configs and CLIs;
+  /// throws contract_error naming this setter on unknown names.
+  client_builder& backend(std::string_view name);
+  /// Independent controller shards the engine stripes the block space
+  /// over (default 1 = the exact historical single-controller machine).
+  /// The memory budget splits evenly across shards; each shard gets its
+  /// own backend instance and storage/memory device lane.
+  client_builder& shards(std::uint32_t count);
   /// Storage device behind the backend (default: paper-calibrated HDD).
   client_builder& storage_profile(const sim::device_profile& profile);
   client_builder& storage_profile(std::string_view name);

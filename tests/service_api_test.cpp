@@ -648,6 +648,181 @@ std::vector<std::uint64_t> group_size_sequence(
   return cs;
 }
 
+// ------------------------------------------------- sharded service
+
+client_builder sharded_builder(std::uint32_t shards) {
+  return client_builder()
+      .blocks(512)
+      .memory_blocks(128)
+      .payload_bytes(kPayload)
+      .shards(shards)
+      .seed(101);
+}
+
+TEST(ServiceApi, ShardedServiceRoundTripsTickets) {
+  // The whole ticket/session contract must survive the engine fanning
+  // requests across 4 shards: payload correctness against a shadow map,
+  // monotone global completion times, latency = completion - admission.
+  service svc = sharded_builder(4).build_service();
+  session user = svc.open_session();
+  std::map<block_id, std::vector<std::uint8_t>> shadow;
+  util::pcg64 driver(31);
+  for (int step = 0; step < 250; ++step) {
+    const block_id id = util::uniform_below(driver, 512);
+    if (util::bernoulli(driver, 0.4)) {
+      const auto data = tagged(static_cast<std::uint8_t>(step));
+      (void)user.async_write(id, data).result();
+      shadow[id] = data;
+    } else {
+      ticket t = user.async_read(id);
+      const auto expected = shadow.contains(id)
+                                ? shadow[id]
+                                : std::vector<std::uint8_t>(kPayload, 0);
+      ASSERT_EQ(t.result().payload, expected) << "step " << step;
+      EXPECT_LE(t.result().sim_time, svc.now());
+      EXPECT_GT(t.result().latency, 0);
+    }
+  }
+  EXPECT_TRUE(svc.idle());
+  EXPECT_EQ(svc.stats().requests, 250u);
+}
+
+TEST(ServiceApi, ShardedServiceDrainsBackloggedTenants) {
+  service svc = sharded_builder(4).build_service();
+  std::vector<session> users;
+  std::vector<ticket> tickets;
+  util::pcg64 gen(37);
+  for (int u = 0; u < 3; ++u) {
+    users.push_back(svc.open_session());
+  }
+  for (session& user : users) {
+    for (int i = 0; i < 80; ++i) {
+      tickets.push_back(user.async_read(util::uniform_below(gen, 512)));
+    }
+  }
+  EXPECT_EQ(svc.pending(), 240u);
+  svc.run_until_idle();
+  EXPECT_TRUE(svc.idle());
+  EXPECT_EQ(svc.pending(), 0u);
+  for (ticket& t : tickets) {
+    EXPECT_TRUE(t.ready());
+  }
+  std::uint64_t completed = 0;
+  for (const session& user : users) {
+    EXPECT_EQ(user.stats().completed, 80u);
+    completed += user.stats().completed;
+  }
+  EXPECT_EQ(completed, svc.stats().requests);
+}
+
+TEST(ServiceApi, ShardedBacklogOnOneHotShardStaysBounded) {
+  // Every request hits one block, so all traffic PRF-routes to a single
+  // shard that drains only round_cap() per round. The scheduler must
+  // count the engine's backlog against its pop budget, or the in-engine
+  // queue (which no admission limit guards) would grow without bound.
+  service svc = sharded_builder(4).build_service();
+  session user = svc.open_session();
+  for (int i = 0; i < 3000; ++i) {
+    (void)user.async_read(7);
+  }
+  const engine& eng = svc.underlying().eng();
+  for (int round = 0; round < 25; ++round) {
+    ASSERT_TRUE(svc.step());
+    EXPECT_LE(eng.pending(), eng.round_budget()) << "round " << round;
+  }
+  svc.run_until_idle();
+  EXPECT_EQ(user.stats().completed, 3000u);
+}
+
+// -------------------------------- fairness edge cases under the engine
+
+TEST(ServiceApi, WeightZeroTenantIsRejected) {
+  service svc = sharded_builder(4)
+                    .fairness(fairness_kind::weighted_share)
+                    .build_service();
+  EXPECT_THROW((void)svc.open_session(0.0), contract_error);
+  EXPECT_THROW((void)svc.open_session(-1.0), contract_error);
+  // The rejected registrations left no tenant behind.
+  EXPECT_EQ(svc.tenant_count(), 0u);
+  session ok = svc.open_session(1.0);
+  (void)ok.async_read(1);
+  svc.run_until_idle();
+  EXPECT_EQ(ok.stats().completed, 1u);
+}
+
+TEST(ServiceApi, WeightedShareJoinerMidRoundUnderShards) {
+  // A tenant joins *mid-round* — between two step() calls, while the
+  // veteran's requests are still fanning out across 4 shards. The WFQ
+  // start-tag clamp must hold under the engine exactly as it does over
+  // one controller: neither side monopolizes from the join onward.
+  service svc = sharded_builder(4)
+                    .fairness(fairness_kind::weighted_share)
+                    .build_service();
+  session veteran = svc.open_session(1.0);
+  util::pcg64 gen(41);
+  for (int i = 0; i < 2000; ++i) {
+    (void)veteran.async_read(util::uniform_below(gen, 512));
+  }
+  // Partial service: requests are in flight inside the engine when the
+  // joiner arrives.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(svc.step());
+  }
+  const std::uint64_t veteran_head_start = veteran.stats().completed;
+
+  session joiner = svc.open_session(1.0);
+  for (int i = 0; i < 2000; ++i) {
+    (void)joiner.async_read(util::uniform_below(gen, 512));
+  }
+  for (int round = 0; round < 12; ++round) {
+    ASSERT_TRUE(svc.step());
+  }
+  const std::uint64_t veteran_done =
+      veteran.stats().completed - veteran_head_start;
+  const std::uint64_t joiner_done = joiner.stats().completed;
+  ASSERT_GT(veteran_done, 0u) << "veteran starved by the mid-round joiner";
+  ASSERT_GT(joiner_done, 0u) << "joiner starved by the veteran";
+  const double joiner_share =
+      static_cast<double>(joiner_done) /
+      static_cast<double>(veteran_done + joiner_done);
+  EXPECT_NEAR(joiner_share, 0.5, 0.15);
+  svc.run_until_idle();
+}
+
+TEST(ServiceApi, WeightedShareTracksWeightsAcrossShards) {
+  // The §5.3.2 proportional-share property must survive the fan-out:
+  // completions (delivered by the engine's completion-ordering layer)
+  // still converge to the weight ratios.
+  service svc = sharded_builder(4)
+                    .fairness(fairness_kind::weighted_share)
+                    .build_service();
+  const std::vector<double> weights = {1.0, 3.0};
+  std::vector<session> users;
+  util::pcg64 gen(43);
+  for (const double w : weights) {
+    users.push_back(svc.open_session(w));
+  }
+  for (session& user : users) {
+    for (int i = 0; i < 1500; ++i) {
+      (void)user.async_read(util::uniform_below(gen, 512));
+    }
+  }
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(svc.step());
+  }
+  std::uint64_t total = 0;
+  for (const session& user : users) {
+    ASSERT_GT(user.stats().completed, 0u);
+    ASSERT_GT(user.pending(), 0u);  // backlog never emptied
+    total += user.stats().completed;
+  }
+  const double heavy_share =
+      static_cast<double>(users[1].stats().completed) /
+      static_cast<double>(total);
+  EXPECT_NEAR(heavy_share, 0.75, 0.12);
+  svc.run_until_idle();
+}
+
 TEST(ServiceApi, AsyncInterleavingTraceIsWorkloadIndependent) {
   // Two services, identical machines; two very different multi-tenant
   // workloads with the same per-tenant request counts. The adversary's
