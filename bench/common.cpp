@@ -100,7 +100,13 @@ std::string json_fields(const system_run& run) {
       << ", \"hit_rate\": " << run.hit_rate
       << ", \"avg_c\": " << run.avg_c
       << ", \"storage_bytes\": " << run.storage_bytes
-      << ", \"host_seconds\": " << run.host_seconds;
+      << ", \"host_seconds\": " << run.host_seconds
+      << ", \"latency_p50_ns\": " << run.latency_p50
+      << ", \"latency_p95_ns\": " << run.latency_p95
+      << ", \"latency_p99_ns\": " << run.latency_p99
+      << ", \"latency_max_ns\": " << run.latency_max
+      << ", \"shuffle_slices\": " << run.shuffle_slices
+      << ", \"shuffle_stall_ns\": " << run.shuffle_stall_time;
   return out.str();
 }
 
@@ -150,6 +156,12 @@ system_run run_horam(
   for (std::uint32_t s = 0; s < ctrl.eng().shard_count(); ++s) {
     run.storage_bytes += ctrl.eng().shard(s).backend().physical_bytes();
   }
+  run.latency_p50 = stats.request_latency.p50();
+  run.latency_p95 = stats.request_latency.p95();
+  run.latency_p99 = stats.request_latency.p99();
+  run.latency_max = stats.request_latency.max();
+  run.shuffle_slices = stats.shuffle_slices;
+  run.shuffle_stall_time = stats.shuffle_stall_time;
   run.host_seconds = seconds_since(start);
   return run;
 }

@@ -40,6 +40,17 @@ struct system_run {
   double avg_c = 0.0;
   std::uint64_t storage_bytes = 0;
   double host_seconds = 0.0;  // real time spent simulating
+  /// Per-request service-latency tail (controller_stats::
+  /// request_latency: ROB entry to retirement, shuffle charges
+  /// included) — what the deamortized shuffle pipeline improves.
+  sim::sim_time latency_p50 = 0;
+  sim::sim_time latency_p95 = 0;
+  sim::sim_time latency_p99 = 0;
+  sim::sim_time latency_max = 0;
+  /// Incremental shuffle slices pumped / foreground stall paying off an
+  /// unfinished job (shuffle_policy::incremental only).
+  std::uint64_t shuffle_slices = 0;
+  sim::sim_time shuffle_stall_time = 0;
 };
 
 /// Workload recipe shared by both systems (§5.2.1): hotspot stream with

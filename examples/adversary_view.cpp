@@ -29,6 +29,7 @@ const char* kind_name(horam::oram::event_kind kind) {
     case event_kind::period_begin: return "PERIOD";
     case event_kind::shuffle_begin: return "SHUFFLE";
     case event_kind::shuffle_partition: return "shuffle partition";
+    case event_kind::shuffle_slice: return "SHUFFLE SLICE";
   }
   return "?";
 }

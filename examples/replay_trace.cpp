@@ -3,12 +3,17 @@
 // useful for comparing runs, regression-hunting, or feeding captured
 // application traces through the simulator.
 //
-//   $ ./examples/replay_trace my_trace.csv [hdd|hdd-raw|ssd|nvme]
+//   $ ./examples/replay_trace [my_trace.csv] [hdd|hdd-raw|ssd|nvme]
+//                             [--out path.csv]
 //
-// Without arguments it generates, saves and replays a demonstration
-// trace so the binary is self-contained.
+// Without a trace argument it generates, saves and replays a
+// demonstration trace so the binary is self-contained. The generated
+// CSV lands next to the binary (never the invoking directory — that
+// used to leak demo_trace.csv into source checkouts); --out overrides
+// the destination.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,17 +29,32 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t block_count = 16384;
   constexpr std::size_t payload_bytes = 64;
 
+  // --- CLI: positional trace + device, optional --out for the demo. ---
+  std::vector<std::string> positional;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out needs a path\n");
+        return 1;
+      }
+      out_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+
   // --- Obtain a trace: from the CLI or a generated demonstration. ---
   std::vector<request> trace;
   std::string source;
-  if (argc >= 2) {
-    std::ifstream in(argv[1]);
+  if (!positional.empty()) {
+    std::ifstream in(positional[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", positional[0].c_str());
       return 1;
     }
     trace = workload::load_trace(in, payload_bytes);
-    source = argv[1];
+    source = positional[0];
   } else {
     util::pcg64 rng(123);
     workload::stream_config stream;
@@ -43,9 +63,24 @@ int main(int argc, char** argv) {
     stream.write_fraction = 0.2;
     stream.payload_bytes = payload_bytes;
     trace = workload::hotspot(rng, stream, 0.8, 0.02);
-    std::ofstream out("demo_trace.csv");
+    if (out_path.empty()) {
+      // Default next to the binary (the build tree), not the CWD. A
+      // PATH-looked-up argv[0] has no parent; fall back to the temp
+      // dir rather than silently leaking into the invoking directory.
+      std::filesystem::path dir =
+          std::filesystem::path(argv[0]).parent_path();
+      if (dir.empty()) {
+        dir = std::filesystem::temp_directory_path();
+      }
+      out_path = (dir / "demo_trace.csv").string();
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
     workload::save_trace(out, trace);
-    source = "demo_trace.csv (generated)";
+    source = out_path + " (generated)";
   }
   for (const request& req : trace) {
     if (req.id >= block_count) {
@@ -57,7 +92,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string device_name = argc >= 3 ? argv[2] : "hdd";
+  const std::string device_name =
+      positional.size() >= 2 ? positional[1] : "hdd";
   sim::device_profile device;
   try {
     device = storage_profile_by_name(device_name);

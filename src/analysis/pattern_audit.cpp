@@ -172,6 +172,12 @@ audit_report audit_trace(const oram::access_trace& trace,
       case oram::event_kind::period_begin:
         finalize_cycle();
         break;
+
+      case oram::event_kind::shuffle_slice:
+        // Incremental shuffle work rides between rounds; the cycle's
+        // own I/O is complete once a slice starts.
+        finalize_cycle();
+        break;
     }
   }
   finalize_cycle();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/time.h"
 #include "util/contracts.h"
 #include "util/math.h"
 
@@ -32,6 +33,12 @@ enum class shuffle_policy : std::uint8_t {
   /// The shuffle runs entirely off the critical path (remote server /
   /// off-line hours — the paper's Figure 5-2 non-shuffle case).
   offloaded,
+  /// Deamortized: the shuffle becomes an incremental backend job
+  /// (oram_backend::begin_shuffle) whose slices run between access
+  /// rounds, each bounded by shuffle_slice_budget device time, so no
+  /// tenant ever sees the stop-the-world latency cliff. An unbounded
+  /// budget (0) degenerates to the foreground machine bit for bit.
+  incremental,
 };
 
 /// Static parameters of an H-ORAM instance.
@@ -65,6 +72,14 @@ struct horam_config {
   std::uint32_t shuffle_every_periods = 1;
 
   shuffle_policy shuffle = shuffle_policy::foreground;
+  /// Device-time budget (ns) of one incremental shuffle slice, pumped
+  /// between access rounds under shuffle_policy::incremental (other
+  /// policies ignore it). 0 = unbounded: the whole job runs at the
+  /// period boundary, reproducing the foreground machine bit for bit.
+  /// Public information by design: the budget — and therefore every
+  /// slice boundary — depends only on the configuration, never on the
+  /// workload.
+  sim::sim_time shuffle_slice_budget = 0;
 
   /// Number of independent controller shards the engine stripes the
   /// block space over (core/engine.h). 1 = a single controller with the
@@ -119,6 +134,8 @@ struct horam_config {
     expects(prefetch_factor >= 1, "prefetch window must cover the group");
     expects(partition_slack >= 1.0, "partition slack below 1 cannot fit");
     expects(shuffle_every_periods >= 1, "shuffle cadence must be >= 1");
+    expects(shuffle_slice_budget >= 0,
+            "shuffle slice budget cannot be negative");
     expects(shard_count >= 1, "shard count must be >= 1");
     expects(shard_count <= block_count,
             "more shards than blocks leaves shards empty");

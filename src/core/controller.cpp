@@ -73,12 +73,31 @@ const storage_layer& controller::storage() const {
 }
 
 bool controller::resident(oram::block_id id) const {
-  return tree_->contains(id) || shelter_.contains(id);
+  return tree_->contains(id) || shelter_.contains(id) ||
+         (shuffle_job_ != nullptr && shuffle_job_->holds(id));
 }
 
 oram::cost_split controller::service_hit(const request& req,
                                          request_result* result) {
   oram::cost_split cost;
+  if (shuffle_job_ != nullptr) {
+    if (std::vector<std::uint8_t>* staged = shuffle_job_->staged(req.id)) {
+      // Block staged in the in-flight shuffle job: serve from trusted
+      // memory, cover with a dummy path access so the bus shape is
+      // unchanged (the shelter pattern); writes go through into the
+      // staged copy so the shuffle places the fresh data.
+      cost += tree_->dummy_access();
+      cost.cpu += cpu_.word_ops_time(8);
+      if (req.op == oram::op_kind::write) {
+        staged->assign(req.write_data.begin(), req.write_data.end());
+        staged->resize(config_.payload_bytes, 0);
+      } else if (result != nullptr) {
+        result->read_data = *staged;
+        result->read_data.resize(config_.payload_bytes, 0);
+      }
+      return cost;
+    }
+  }
   const auto shelter_it = shelter_.find(req.id);
   if (shelter_it != shelter_.end()) {
     // Shelter-resident block: serve from trusted memory, cover with a
@@ -119,6 +138,8 @@ void controller::run(std::span<const request> requests,
   }
 
   std::vector<std::uint8_t> was_scheduled_miss(requests.size(), 0);
+  /// ROB-entry timestamps: request_latency measures entry → retirement.
+  std::vector<sim::sim_time> enqueued_at(requests.size(), 0);
   std::uint64_t next_to_enqueue = 0;
   std::uint64_t serviced = 0;
 
@@ -131,6 +152,7 @@ void controller::run(std::span<const request> requests,
     // Keep the ROB ahead of the prefetch window.
     const std::uint64_t want = scheduler_.round_budget(loads_this_period_);
     while (rob_.size() < want && next_to_enqueue < requests.size()) {
+      enqueued_at[next_to_enqueue] = clock_.now();
       rob_.push(next_to_enqueue++);
     }
 
@@ -208,6 +230,8 @@ void controller::run(std::span<const request> requests,
       } else {
         ++stats_.misses;
       }
+      stats_.request_latency.record(clock_.now() -
+                                    enqueued_at[request_index]);
       rob_.remove(*it);
       ++serviced;
       ++stats_.requests;
@@ -218,6 +242,11 @@ void controller::run(std::span<const request> requests,
     if (++loads_this_period_ >= config_.period_loads()) {
       run_shuffle_period();
     }
+
+    // Deamortization point: one budget-bounded slice of any in-flight
+    // incremental shuffle job runs between access rounds, so its
+    // device time lands in slice-sized pieces instead of one cliff.
+    pump_shuffle_slice();
   }
   stats_.total_time = clock_.now() - stats_epoch_;
 }
@@ -231,7 +260,41 @@ std::uint64_t controller::round_budget() const noexcept {
   return scheduler_.round_budget(loads_this_period_);
 }
 
+void controller::pump_shuffle_slice() {
+  if (shuffle_job_ == nullptr) {
+    return;
+  }
+  // The job was begun by the period that just ended (period_index_ was
+  // advanced at creation).
+  trace(trace_, oram::event_kind::shuffle_slice, period_index_ - 1,
+        stats_.shuffle_slices);
+  const shuffle_cost sc = shuffle_job_->step(config_.shuffle_slice_budget);
+  clock_.advance(sc.total());
+  ++stats_.shuffle_slices;
+  stats_.shuffle_time += sc.total();
+  stats_.io_busy += sc.io_read + sc.io_write;
+  stats_.memory_busy += sc.memory;
+  stats_.cpu_busy += sc.cpu;
+  if (shuffle_job_->done()) {
+    std::vector<oram::evicted_block> overflow;
+    shuffle_job_->finish(overflow);
+    shuffle_job_.reset();
+    for (auto& block : overflow) {
+      shelter_.emplace(block.id, std::move(block.payload));
+    }
+  }
+}
+
 void controller::run_shuffle_period() {
+  // An incremental job still in flight blocks the next period: drain
+  // it foreground now — the latency cliff a well-sized slice budget
+  // avoids (budget * period_loads should cover a whole shuffle).
+  while (shuffle_job_ != nullptr) {
+    const sim::sim_time stall_begin = clock_.now();
+    pump_shuffle_slice();
+    stats_.shuffle_stall_time += clock_.now() - stall_begin;
+  }
+
   trace(trace_, oram::event_kind::period_begin, period_index_);
 
   // 1) Oblivious tree evict (§4.3.1).
@@ -244,10 +307,30 @@ void controller::run_shuffle_period() {
   }
   shelter_.clear();
 
-  // 2) Group-and-partition shuffle (§4.3.2).
+  // 2) Group-and-partition shuffle (§4.3.2) — monolithic, or through
+  // the backend's incremental job API under shuffle_policy::
+  // incremental. A bounded budget defers the job to the slice pump; an
+  // unbounded one drives it to completion right here, reproducing the
+  // foreground machine bit for bit through the job entry point.
+  const bool deferred = config_.shuffle == shuffle_policy::incremental &&
+                        config_.shuffle_slice_budget > 0;
   std::vector<oram::evicted_block> overflow;
-  const shuffle_cost sc =
-      storage_->shuffle_period(std::move(evicted), period_index_, overflow);
+  shuffle_cost sc;
+  if (config_.shuffle == shuffle_policy::incremental) {
+    std::unique_ptr<shuffle_job> job =
+        storage_->begin_shuffle(std::move(evicted), period_index_);
+    if (deferred) {
+      shuffle_job_ = std::move(job);
+    } else {
+      while (!job->done()) {
+        sc += job->step(0);
+      }
+      job->finish(overflow);
+    }
+  } else {
+    sc = storage_->shuffle_period(std::move(evicted), period_index_,
+                                  overflow);
+  }
   for (auto& block : overflow) {
     shelter_.emplace(block.id, std::move(block.payload));
   }
@@ -275,6 +358,13 @@ void controller::run_shuffle_period() {
       // Figure 5-2: the storage-side shuffle runs off the critical
       // path; only the local tree evict + rebuild is paid.
       charged = local_work;
+      break;
+    case shuffle_policy::incremental:
+      // Local tree work lands at the boundary; the backend's device
+      // time lands slice by slice between rounds (pump_shuffle_slice)
+      // — or, with an unbounded budget, entirely in sc right here.
+      charged = flush_debt_ + local_work + sc.total();
+      flush_debt_ = 0;
       break;
   }
   clock_.advance(charged);

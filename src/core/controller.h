@@ -10,7 +10,11 @@
 // controller runs the shuffle period: oblivious tree evict, group-and-
 // partition shuffle, tree re-initialisation. The shuffle's device time
 // is charged according to the configured shuffle_policy (foreground /
-// page-cache-style async write-back / fully offloaded — Figure 5-2).
+// page-cache-style async write-back / fully offloaded — Figure 5-2 —
+// or deamortized: shuffle_policy::incremental turns the period into a
+// backend shuffle_job whose budget-bounded slices run between access
+// rounds, so the stop-the-world latency cliff disappears from the
+// request tail).
 #ifndef HORAM_CORE_CONTROLLER_H
 #define HORAM_CORE_CONTROLLER_H
 
@@ -30,6 +34,7 @@
 #include "oram/path/path_oram.h"
 #include "sim/cpu_model.h"
 #include "sim/device.h"
+#include "sim/stats.h"
 #include "sim/time.h"
 #include "util/rng.h"
 
@@ -64,6 +69,9 @@ struct controller_stats {
   std::uint64_t dummy_loads = 0;
   std::uint64_t dummy_path_accesses = 0;
   std::uint64_t periods = 0;  // completed shuffle periods
+  /// Incremental shuffle slices pumped between access rounds
+  /// (shuffle_policy::incremental with a bounded slice budget).
+  std::uint64_t shuffle_slices = 0;
 
   sim::sim_time access_time = 0;   // wall time of access periods
   sim::sim_time shuffle_time = 0;  // device time of shuffle periods
@@ -72,6 +80,17 @@ struct controller_stats {
   sim::sim_time memory_busy = 0;   // memory-device busy time
   sim::sim_time cpu_busy = 0;      // control-layer busy time
   sim::sim_time io_load_time = 0;  // storage time of loads only
+  /// Time spent finishing an in-flight incremental job foreground
+  /// because the next period boundary arrived first (the cliff the
+  /// slice budget should be sized to avoid).
+  sim::sim_time shuffle_stall_time = 0;
+
+  /// Streaming per-request service-latency histogram (ROB entry to
+  /// retirement, shuffle charges included), the controller-level half
+  /// of the tail-latency accounting. Resource-level: under the sharded
+  /// engine it includes the router's padding requests — the tenant
+  /// layer's histograms are the application-level view.
+  sim::latency_histogram request_latency;
 
   /// Average storage-load service time (the paper's "I/O Latency").
   [[nodiscard]] double average_io_latency_us() const noexcept {
@@ -100,6 +119,7 @@ struct controller_stats {
     dummy_loads += other.dummy_loads;
     dummy_path_accesses += other.dummy_path_accesses;
     periods += other.periods;
+    shuffle_slices += other.shuffle_slices;
     access_time += other.access_time;
     shuffle_time += other.shuffle_time;
     total_time += other.total_time;
@@ -107,6 +127,8 @@ struct controller_stats {
     memory_busy += other.memory_busy;
     cpu_busy += other.cpu_busy;
     io_load_time += other.io_load_time;
+    shuffle_stall_time += other.shuffle_stall_time;
+    request_latency += other.request_latency;
     return *this;
   }
 };
@@ -177,6 +199,11 @@ class controller {
   /// Requests an incremental pump should submit per scheduling round
   /// (see scheduler::round_budget).
   [[nodiscard]] std::uint64_t round_budget() const noexcept;
+  /// True while an incremental shuffle job is riding between rounds
+  /// (shuffle_policy::incremental with a bounded slice budget).
+  [[nodiscard]] bool shuffle_in_flight() const noexcept {
+    return shuffle_job_ != nullptr;
+  }
   [[nodiscard]] sim::sim_time now() const noexcept { return clock_.now(); }
   [[nodiscard]] const horam_config& config() const noexcept {
     return config_;
@@ -201,6 +228,10 @@ class controller {
   std::uint64_t run_cycle(std::span<const request> requests,
                           std::vector<request_result>* results);
   void run_shuffle_period();
+  /// Runs one slice of the in-flight incremental shuffle job (no-op
+  /// without one); charges the slice's device time and, when the job
+  /// completes, shelters its overflow.
+  void pump_shuffle_slice();
   /// Services one hit request via the memory lane; returns its cost.
   oram::cost_split service_hit(const request& req, request_result* result);
 
@@ -221,6 +252,11 @@ class controller {
   /// Control-layer shelter for shuffle-overflow blocks; resident from
   /// the scheduler's point of view (served with dummy path accesses).
   std::unordered_map<oram::block_id, std::vector<std::uint8_t>> shelter_;
+
+  /// In-flight incremental shuffle job (shuffle_policy::incremental
+  /// with a bounded budget); its staged blocks are resident from the
+  /// scheduler's point of view, like the shelter.
+  std::unique_ptr<shuffle_job> shuffle_job_;
 
   std::uint64_t loads_this_period_ = 0;
   std::uint64_t period_index_ = 0;

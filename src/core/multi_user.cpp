@@ -142,6 +142,7 @@ bool tenant_scheduler::step(const completion& on_complete) {
     ++ts.completed;
     ts.total_latency += latency;
     ts.max_latency = std::max(ts.max_latency, latency);
+    ts.latency.record(latency);
     if (on_complete) {
       on_complete(meta.tenant, meta.seq, std::move(result), latency);
     }

@@ -100,6 +100,10 @@ struct tenant_stats {
   sim::sim_time max_latency = 0;
   /// Completed requests per virtual second since the stats epoch.
   double throughput = 0.0;
+  /// Streaming latency distribution of the same completions
+  /// (p50/p95/p99/max) — the application-level tail the deamortized
+  /// shuffle pipeline is measured by.
+  sim::latency_histogram latency;
 
   [[nodiscard]] sim::sim_time mean_latency() const noexcept {
     return completed == 0

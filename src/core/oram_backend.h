@@ -21,6 +21,13 @@
 //   * shuffle_period() receives every cached block (tree eviction plus
 //     control-layer shelter). Blocks the scheme cannot place are handed
 //     back via `overflow_out` and return with the next period's batch.
+//   * begin_shuffle() is the deamortized form of the same contract: it
+//     returns a shuffle_job whose step()s run the period in bounded
+//     device-time slices between foreground rounds. Evicted blocks the
+//     job has not placed yet stay readable/writable through staged(),
+//     so the controller can keep serving them (covered by dummy path
+//     accesses) while the shuffle is in flight. Driving a fresh job to
+//     completion in one unbounded step is exactly shuffle_period().
 //   * check_consistency() performs a deep audit of the control-layer
 //     bookkeeping and throws util::contract_error on the first
 //     inconsistency (tests call it after stress runs).
@@ -28,6 +35,7 @@
 #define HORAM_CORE_ORAM_BACKEND_H
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -61,6 +69,49 @@ struct shuffle_cost {
   [[nodiscard]] sim::sim_time total() const noexcept {
     return io_read + io_write + memory + cpu;
   }
+
+  shuffle_cost& operator+=(const shuffle_cost& other) noexcept {
+    io_read += other.io_read;
+    io_write += other.io_write;
+    memory += other.memory;
+    cpu += other.cpu;
+    return *this;
+  }
+};
+
+/// One in-flight shuffle period, stepped in bounded device-time slices
+/// (oram_backend::begin_shuffle). Lifecycle: step() until done(), then
+/// finish() exactly once. Each step advances at least one indivisible
+/// unit of work (a partition rewrite, a stash-drain access), so bounded
+/// budgets always terminate; a unit may overshoot the budget — the
+/// caller charges what the slice actually cost.
+class shuffle_job {
+ public:
+  virtual ~shuffle_job() = default;
+
+  /// Runs shuffle slices worth at least `device_budget` device time
+  /// (<= 0 = unbounded: run the rest of the period) and returns the
+  /// slice's device-time split.
+  virtual shuffle_cost step(sim::sim_time device_budget) = 0;
+
+  /// True once no work remains (finish() may be called).
+  [[nodiscard]] virtual bool done() const noexcept = 0;
+
+  /// True while the job still holds the live copy of `id` in its
+  /// trusted-memory staging area (evicted but not yet placed).
+  [[nodiscard]] virtual bool holds(oram::block_id id) const = 0;
+
+  /// The staged payload of `id`, or null once the block has been
+  /// placed. The controller serves reads from — and writes through
+  /// into — this copy (covered by dummy path accesses) while the job
+  /// is in flight, so staged blocks stay coherent.
+  [[nodiscard]] virtual std::vector<std::uint8_t>* staged(
+      oram::block_id id) = 0;
+
+  /// Completes the period: hands back the blocks the scheme could not
+  /// place (the controller shelters them). Call exactly once, after
+  /// done().
+  virtual void finish(std::vector<oram::evicted_block>& overflow_out) = 0;
 };
 
 class oram_backend {
@@ -95,6 +146,17 @@ class oram_backend {
   virtual shuffle_cost shuffle_period(
       std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
       std::vector<oram::evicted_block>& overflow_out) = 0;
+
+  /// Begins the same period as an incremental job (see shuffle_job).
+  /// The default adapter wraps the monolithic shuffle_period(): one
+  /// step() does everything, whatever the budget — correct for every
+  /// scheme, deamortized for none. Backends with a natural slice
+  /// granularity (the partitioned layer: partition at a time; the path
+  /// backend: install/drain access at a time) override it; their
+  /// shuffle_period() is then the wrapper, so the two entry points stay
+  /// bit-for-bit interchangeable by construction.
+  [[nodiscard]] virtual std::unique_ptr<shuffle_job> begin_shuffle(
+      std::vector<oram::evicted_block> evicted, std::uint64_t period_index);
 
   [[nodiscard]] virtual const backend_stats& stats() const noexcept = 0;
 

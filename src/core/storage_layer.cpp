@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
+#include <utility>
 
 #include "util/contracts.h"
 #include "util/math.h"
@@ -276,15 +278,12 @@ storage_layer::load_result storage_layer::dummy_load() {
   return result;
 }
 
-shuffle_cost storage_layer::shuffle_period(
-    std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
-    std::vector<oram::evicted_block>& overflow_out) {
-  shuffle_cost cost;
+storage_layer::shuffle_plan storage_layer::plan_shuffle(
+    std::vector<oram::evicted_block> evicted, std::uint64_t period_index) {
   trace(trace_, oram::event_kind::shuffle_begin, period_index);
 
   const std::uint64_t partitions = store_->geometry().partition_count;
   const std::uint64_t main_capacity = store_->geometry().main_capacity;
-  const std::size_t record_bytes = codec_.record_bytes();
   const std::uint32_t cadence = config_.shuffle_every_periods;
   const auto is_due = [&](std::uint64_t p) {
     return cadence == 1 || (p % cadence) == (period_index % cadence);
@@ -301,167 +300,295 @@ shuffle_cost storage_layer::shuffle_period(
   // Assign every evicted block to a uniformly random partition with
   // room (rejection sampling; total capacity exceeds N, so placement
   // always succeeds for due partitions — segments can overflow).
-  std::vector<std::vector<oram::evicted_block>> hot(partitions);
+  shuffle_plan plan;
+  plan.period_index = period_index;
+  plan.hot.resize(partitions);
   std::vector<std::uint64_t> segment_fill(partitions, 0);
   for (oram::evicted_block& block : evicted) {
     bool placed = false;
     for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
       const std::uint64_t p = util::uniform_below(rng_, partitions);
       if (is_due(p)) {
-        if (live[p] + hot[p].size() < main_capacity) {
-          hot[p].push_back(std::move(block));
+        if (live[p] + plan.hot[p].size() < main_capacity) {
+          plan.hot[p].push_back(std::move(block));
           placed = true;
         }
       } else if (segment_fill[p] < segment_capacity_ &&
                  pending_segments_[p] + 1 <= cadence) {
         ++segment_fill[p];
-        hot[p].push_back(std::move(block));
+        plan.hot[p].push_back(std::move(block));
         placed = true;
       }
     }
     if (!placed) {
       // Deterministic fallback: first due partition with room.
       for (std::uint64_t p = 0; p < partitions && !placed; ++p) {
-        if (is_due(p) && live[p] + hot[p].size() < main_capacity) {
-          hot[p].push_back(std::move(block));
+        if (is_due(p) && live[p] + plan.hot[p].size() < main_capacity) {
+          plan.hot[p].push_back(std::move(block));
           placed = true;
         }
       }
     }
     if (!placed) {
       ++stats_.overflow_blocks;
-      overflow_out.push_back(std::move(block));
+      plan.overflow.push_back(std::move(block));
     }
   }
+  return plan;
+}
 
-  // Process partitions strictly left to right (§4.3.2).
-  std::vector<std::uint8_t> image;
-  std::vector<std::uint8_t> out(main_capacity * record_bytes);
-  for (std::uint64_t p = 0; p < partitions; ++p) {
-    if (!is_due(p)) {
-      // Append this period's segment (exact size; the assignment is
-      // fresh uniform randomness, so its size is data-independent).
-      if (hot[p].empty()) {
-        continue;
+shuffle_cost storage_layer::shuffle_partition_step(shuffle_plan& plan,
+                                                   std::uint64_t p) {
+  shuffle_cost cost;
+  const std::uint64_t main_capacity = store_->geometry().main_capacity;
+  const std::size_t record_bytes = codec_.record_bytes();
+  const std::uint32_t cadence = config_.shuffle_every_periods;
+  const bool due = cadence == 1 ||
+                   (p % cadence) == (plan.period_index % cadence);
+  std::vector<oram::evicted_block>& hot = plan.hot[p];
+
+  if (!due) {
+    // Append this period's segment (exact size; the assignment is
+    // fresh uniform randomness, so its size is data-independent).
+    if (hot.empty()) {
+      return cost;
+    }
+    const std::uint64_t base = store_->appended_count(p);
+    std::vector<std::uint8_t> segment(hot.size() * record_bytes);
+    for (std::uint64_t k = 0; k < hot.size(); ++k) {
+      codec_.encode(hot[k].id, hot[k].payload,
+                    std::span<std::uint8_t>(
+                        segment.data() + k * record_bytes, record_bytes));
+      const std::uint32_t append_index =
+          static_cast<std::uint32_t>(base + k);
+      locations_[hot[k].id] =
+          location{residence::append_slot,
+                   static_cast<std::uint32_t>(p), append_index};
+      const std::uint32_t code =
+          static_cast<std::uint32_t>(main_capacity) + append_index;
+      contents_[p][code] = hot[k].id;
+      if (pool_position_[p][code] != no_pool_position) {
+        pool_remove(p, code);  // stale pool entry from a prior epoch
       }
-      const std::uint64_t base = store_->appended_count(p);
-      std::vector<std::uint8_t> segment(hot[p].size() * record_bytes);
-      for (std::uint64_t k = 0; k < hot[p].size(); ++k) {
-        codec_.encode(hot[p][k].id, hot[p][k].payload,
-                      std::span<std::uint8_t>(
-                          segment.data() + k * record_bytes, record_bytes));
-        const std::uint32_t append_index =
-            static_cast<std::uint32_t>(base + k);
-        locations_[hot[p][k].id] =
-            location{residence::append_slot,
-                     static_cast<std::uint32_t>(p), append_index};
-        const std::uint32_t code =
-            static_cast<std::uint32_t>(main_capacity) + append_index;
-        contents_[p][code] = hot[p][k].id;
-        if (pool_position_[p][code] != no_pool_position) {
-          pool_remove(p, code);  // stale pool entry from a prior epoch
-        }
-        pool_insert(p, code);
-      }
-      cost.io_write += store_->append(p, segment);
-      cost.cpu += cpu_.crypto_time(hot[p].size(), record_bytes);
-      ++pending_segments_[p];
-      ++stats_.append_segments;
-      trace(trace_, oram::event_kind::storage_write_sweep,
-            p * store_->geometry().slots_per_partition() + main_capacity +
-                base,
-            hot[p].size());
+      pool_insert(p, code);
+    }
+    cost.io_write += store_->append(p, segment);
+    cost.cpu += cpu_.crypto_time(hot.size(), record_bytes);
+    ++pending_segments_[p];
+    ++stats_.append_segments;
+    trace(trace_, oram::event_kind::storage_write_sweep,
+          p * store_->geometry().slots_per_partition() + main_capacity +
+              base,
+          hot.size());
+    return cost;
+  }
+
+  // Due partition: stream in (cold data + pending appends), merge
+  // with its hot share in trusted memory, re-permute, stream out.
+  std::vector<std::uint8_t>& image = shuffle_image_scratch_;
+  std::uint64_t records_read = 0;
+  cost.io_read += store_->read_partition(p, /*include_appends=*/true,
+                                         image, records_read);
+  trace(trace_, oram::event_kind::storage_read_sweep,
+        p * store_->geometry().slots_per_partition(), records_read);
+  cost.cpu += cpu_.crypto_time(records_read, record_bytes);
+
+  struct staged {
+    oram::block_id id;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<staged> blocks;
+  blocks.reserve(records_read + hot.size());
+  for (std::uint64_t code = 0; code < records_read; ++code) {
+    const oram::block_id id = contents_[p][code];
+    if (id == oram::dummy_block_id) {
       continue;
     }
-
-    // Due partition: stream in (cold data + pending appends), merge
-    // with its hot share in trusted memory, re-permute, stream out.
-    std::uint64_t records_read = 0;
-    cost.io_read += store_->read_partition(p, /*include_appends=*/true,
-                                           image, records_read);
-    trace(trace_, oram::event_kind::storage_read_sweep,
-          p * store_->geometry().slots_per_partition(), records_read);
-    cost.cpu += cpu_.crypto_time(records_read, record_bytes);
-
-    struct staged {
-      oram::block_id id;
-      std::vector<std::uint8_t> payload;
-    };
-    std::vector<staged> blocks;
-    blocks.reserve(live[p] + hot[p].size());
-    for (std::uint64_t code = 0; code < records_read; ++code) {
-      const oram::block_id id = contents_[p][code];
-      if (id == oram::dummy_block_id) {
-        continue;
-      }
-      const oram::block_id decoded = codec_.decode(
-          std::span<const std::uint8_t>(image.data() + code * record_bytes,
-                                        record_bytes),
-          payload_scratch_);
-      invariant(decoded == id, "partition contents out of sync");
-      blocks.push_back(staged{id, std::vector<std::uint8_t>(
-                                      payload_scratch_.begin(),
-                                      payload_scratch_.end())});
-    }
-    for (oram::evicted_block& block : hot[p]) {
-      blocks.push_back(staged{block.id, std::move(block.payload)});
-    }
-    // With partial shuffling, survivors + pending appends + new hot data
-    // can exceed the main region; the excess waits in the control-layer
-    // shelter until the next period (bounded by the capacity slack).
-    while (blocks.size() > main_capacity) {
-      staged& excess = blocks.back();
-      locations_[excess.id] = location{residence::memory, 0, 0};
-      overflow_out.push_back(
-          oram::evicted_block{excess.id, std::move(excess.payload)});
-      blocks.pop_back();
-      ++stats_.overflow_blocks;
-    }
-
-    // Fresh in-partition permutation (in-memory shuffle; the paper uses
-    // CacheShuffle here — with the partition resident in trusted memory
-    // it reduces to a uniform in-memory shuffle).
-    const std::vector<std::uint64_t> slot_order =
-        util::random_permutation(rng_, main_capacity);
-    std::fill(contents_[p].begin(), contents_[p].end(),
-              oram::dummy_block_id);
-    for (std::uint64_t i = 0; i < main_capacity; ++i) {
-      codec_.encode_dummy(std::span<std::uint8_t>(
-          out.data() + i * record_bytes, record_bytes));
-    }
-    for (std::uint64_t k = 0; k < blocks.size(); ++k) {
-      const std::uint32_t index =
-          static_cast<std::uint32_t>(slot_order[k]);
-      codec_.encode(blocks[k].id, blocks[k].payload,
-                    std::span<std::uint8_t>(
-                        out.data() + index * record_bytes, record_bytes));
-      contents_[p][index] = blocks[k].id;
-      locations_[blocks[k].id] = location{
-          residence::main_slot, static_cast<std::uint32_t>(p), index};
-    }
-    cost.cpu += cpu_.crypto_time(main_capacity, record_bytes);
-    cost.cpu += cpu_.word_ops_time(main_capacity);
-
-    cost.io_write += store_->write_partition(p, out);
-    trace(trace_, oram::event_kind::shuffle_partition, p);
-    trace(trace_, oram::event_kind::storage_write_sweep,
-          p * store_->geometry().slots_per_partition(), main_capacity);
-    ++stats_.partitions_shuffled;
-
-    // Every slot of the re-permuted partition is fresh again.
-    for (std::uint32_t code = 0;
-         code < contents_[p].size(); ++code) {
-      const bool in_pool = pool_position_[p][code] != no_pool_position;
-      if (code < main_capacity) {
-        if (!in_pool) {
-          pool_insert(p, code);
-        }
-      } else if (in_pool) {
-        pool_remove(p, code);  // append region is empty after the merge
-      }
-    }
-    pending_segments_[p] = 0;
+    const oram::block_id decoded = codec_.decode(
+        std::span<const std::uint8_t>(image.data() + code * record_bytes,
+                                      record_bytes),
+        payload_scratch_);
+    invariant(decoded == id, "partition contents out of sync");
+    blocks.push_back(staged{id, std::vector<std::uint8_t>(
+                                    payload_scratch_.begin(),
+                                    payload_scratch_.end())});
   }
+  for (oram::evicted_block& block : hot) {
+    blocks.push_back(staged{block.id, std::move(block.payload)});
+  }
+  // With partial shuffling, survivors + pending appends + new hot data
+  // can exceed the main region; the excess waits in the control-layer
+  // shelter until the next period (bounded by the capacity slack).
+  while (blocks.size() > main_capacity) {
+    staged& excess = blocks.back();
+    locations_[excess.id] = location{residence::memory, 0, 0};
+    plan.overflow.push_back(
+        oram::evicted_block{excess.id, std::move(excess.payload)});
+    blocks.pop_back();
+    ++stats_.overflow_blocks;
+  }
+
+  // Fresh in-partition permutation (in-memory shuffle; the paper uses
+  // CacheShuffle here — with the partition resident in trusted memory
+  // it reduces to a uniform in-memory shuffle).
+  const std::vector<std::uint64_t> slot_order =
+      util::random_permutation(rng_, main_capacity);
+  std::fill(contents_[p].begin(), contents_[p].end(),
+            oram::dummy_block_id);
+  std::vector<std::uint8_t>& out = shuffle_out_scratch_;
+  out.resize(main_capacity * record_bytes);
+  for (std::uint64_t i = 0; i < main_capacity; ++i) {
+    codec_.encode_dummy(std::span<std::uint8_t>(
+        out.data() + i * record_bytes, record_bytes));
+  }
+  for (std::uint64_t k = 0; k < blocks.size(); ++k) {
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(slot_order[k]);
+    codec_.encode(blocks[k].id, blocks[k].payload,
+                  std::span<std::uint8_t>(
+                      out.data() + index * record_bytes, record_bytes));
+    contents_[p][index] = blocks[k].id;
+    locations_[blocks[k].id] = location{
+        residence::main_slot, static_cast<std::uint32_t>(p), index};
+  }
+  cost.cpu += cpu_.crypto_time(main_capacity, record_bytes);
+  cost.cpu += cpu_.word_ops_time(main_capacity);
+
+  cost.io_write += store_->write_partition(p, out);
+  trace(trace_, oram::event_kind::shuffle_partition, p);
+  trace(trace_, oram::event_kind::storage_write_sweep,
+        p * store_->geometry().slots_per_partition(), main_capacity);
+  ++stats_.partitions_shuffled;
+
+  // Every slot of the re-permuted partition is fresh again.
+  for (std::uint32_t code = 0;
+       code < contents_[p].size(); ++code) {
+    const bool in_pool = pool_position_[p][code] != no_pool_position;
+    if (code < main_capacity) {
+      if (!in_pool) {
+        pool_insert(p, code);
+      }
+    } else if (in_pool) {
+      pool_remove(p, code);  // append region is empty after the merge
+    }
+  }
+  pending_segments_[p] = 0;
+  return cost;
+}
+
+/// Incremental shuffle over the partitioned layout: whole partitions
+/// are the slice unit, processed strictly left to right (§4.3.2) until
+/// the device budget is spent. Hot blocks stay staged (and servable)
+/// until their partition lands.
+class partitioned_shuffle_job final : public shuffle_job {
+ public:
+  partitioned_shuffle_job(storage_layer& owner,
+                          std::vector<oram::evicted_block> evicted,
+                          std::uint64_t period_index)
+      : owner_(owner),
+        plan_(owner.plan_shuffle(std::move(evicted), period_index)) {
+    for (std::uint64_t p = 0; p < plan_.hot.size(); ++p) {
+      for (std::size_t k = 0; k < plan_.hot[p].size(); ++k) {
+        staged_.emplace(plan_.hot[p][k].id, staged_ref{p, k, false});
+      }
+    }
+    for (std::size_t k = 0; k < plan_.overflow.size(); ++k) {
+      staged_.emplace(plan_.overflow[k].id, staged_ref{0, k, true});
+    }
+  }
+
+  shuffle_cost step(sim::sim_time device_budget) override {
+    expects(!done(), "shuffle_job::step() after done()");
+    shuffle_cost slice;
+    const std::uint64_t partitions = plan_.hot.size();
+    while (next_partition_ < partitions) {
+      const std::uint64_t p = next_partition_++;
+      // Snapshot this partition's hot ids before processing so the
+      // staging index can be reconciled afterwards (placed blocks drop
+      // out, merge excess moves to the overflow list).
+      ids_scratch_.clear();
+      for (const oram::evicted_block& block : plan_.hot[p]) {
+        ids_scratch_.push_back(block.id);
+      }
+      const std::size_t overflow_before = plan_.overflow.size();
+      slice += owner_.shuffle_partition_step(plan_, p);
+      for (const oram::block_id id : ids_scratch_) {
+        staged_.erase(id);
+      }
+      for (std::size_t k = overflow_before; k < plan_.overflow.size();
+           ++k) {
+        staged_[plan_.overflow[k].id] = staged_ref{0, k, true};
+      }
+      if (device_budget > 0 && slice.total() >= device_budget) {
+        break;
+      }
+    }
+    return slice;
+  }
+
+  [[nodiscard]] bool done() const noexcept override {
+    return next_partition_ >= plan_.hot.size();
+  }
+
+  [[nodiscard]] bool holds(oram::block_id id) const override {
+    return staged_.contains(id);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>* staged(
+      oram::block_id id) override {
+    const auto it = staged_.find(id);
+    if (it == staged_.end()) {
+      return nullptr;
+    }
+    const staged_ref& ref = it->second;
+    return ref.in_overflow ? &plan_.overflow[ref.index].payload
+                           : &plan_.hot[ref.partition][ref.index].payload;
+  }
+
+  void finish(std::vector<oram::evicted_block>& overflow_out) override {
+    expects(done(), "shuffle_job::finish() before done()");
+    expects(!finished_, "shuffle_job::finish() called twice");
+    for (oram::evicted_block& block : plan_.overflow) {
+      overflow_out.push_back(std::move(block));
+    }
+    plan_.overflow.clear();
+    staged_.clear();
+    finished_ = true;
+  }
+
+ private:
+  /// Where a still-staged block lives: plan_.hot[partition][index], or
+  /// plan_.overflow[index] when in_overflow.
+  struct staged_ref {
+    std::uint64_t partition = 0;
+    std::size_t index = 0;
+    bool in_overflow = false;
+  };
+
+  storage_layer& owner_;
+  storage_layer::shuffle_plan plan_;
+  std::unordered_map<oram::block_id, staged_ref> staged_;
+  std::vector<oram::block_id> ids_scratch_;
+  std::uint64_t next_partition_ = 0;
+  bool finished_ = false;
+};
+
+std::unique_ptr<shuffle_job> storage_layer::begin_shuffle(
+    std::vector<oram::evicted_block> evicted, std::uint64_t period_index) {
+  return std::make_unique<partitioned_shuffle_job>(
+      *this, std::move(evicted), period_index);
+}
+
+shuffle_cost storage_layer::shuffle_period(
+    std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
+    std::vector<oram::evicted_block>& overflow_out) {
+  std::unique_ptr<shuffle_job> job =
+      begin_shuffle(std::move(evicted), period_index);
+  shuffle_cost cost;
+  while (!job->done()) {
+    cost += job->step(0);
+  }
+  job->finish(overflow_out);
   return cost;
 }
 

@@ -78,9 +78,22 @@ class storage_layer final : public oram_backend {
   /// their share of `evicted` hot blocks (plus any reinjected overflow)
   /// and appends fixed-size segments to the rest. Blocks that cannot be
   /// placed are moved to `overflow_out` (control-layer shelter).
+  /// Implemented as begin_shuffle() driven to completion in one
+  /// unbounded step, so the monolithic and incremental entry points
+  /// are interchangeable by construction.
   shuffle_cost shuffle_period(
       std::vector<oram::evicted_block> evicted, std::uint64_t period_index,
       std::vector<oram::evicted_block>& overflow_out) override;
+
+  /// Native incremental shuffle: the hot set is assigned to partitions
+  /// up front, then each step() processes whole partitions — a due
+  /// partition's stream-in/merge/re-permute/stream-out, or a pending
+  /// partition's append segment — until the slice budget is spent.
+  /// Partition order and per-partition work are workload-independent
+  /// by construction (fixed physical sizes, left-to-right sweep).
+  [[nodiscard]] std::unique_ptr<shuffle_job> begin_shuffle(
+      std::vector<oram::evicted_block> evicted,
+      std::uint64_t period_index) override;
 
   [[nodiscard]] const storage_layer_stats& stats() const noexcept override {
     return stats_;
@@ -103,12 +116,32 @@ class storage_layer final : public oram_backend {
   void check_consistency() const override;
 
  private:
+  friend class partitioned_shuffle_job;
+
   enum class residence : std::uint8_t { memory, main_slot, append_slot };
   struct location {
     residence where = residence::memory;
     std::uint32_t partition = 0;
     std::uint32_t index = 0;  // main slot or append-region slot
   };
+
+  /// Planned period: the hot set dealt to its target partitions, plus
+  /// the blocks no partition could take.
+  struct shuffle_plan {
+    std::uint64_t period_index = 0;
+    std::vector<std::vector<oram::evicted_block>> hot;
+    std::vector<oram::evicted_block> overflow;
+  };
+
+  /// Assigns `evicted` across partitions (uniform with rejection, then
+  /// a deterministic fallback) — the monolithic shuffle's planning
+  /// phase, shared with the incremental job.
+  shuffle_plan plan_shuffle(std::vector<oram::evicted_block> evicted,
+                            std::uint64_t period_index);
+  /// Processes partition `p` of the plan: due partitions merge + re-
+  /// permute, pending ones take their append segment. Excess blocks go
+  /// to plan.overflow.
+  shuffle_cost shuffle_partition_step(shuffle_plan& plan, std::uint64_t p);
 
   /// Local slot code: [0, main_capacity) = main region;
   /// [main_capacity, ...) = append region.
@@ -146,6 +179,11 @@ class storage_layer final : public oram_backend {
   storage_layer_stats stats_;
   std::vector<std::uint8_t> record_scratch_;
   std::vector<std::uint8_t> payload_scratch_;
+  /// Partition-image scratch reused across shuffle_partition_step
+  /// calls (MB-scale at bench geometry; one allocation per layer, not
+  /// per partition or per slice).
+  std::vector<std::uint8_t> shuffle_image_scratch_;
+  std::vector<std::uint8_t> shuffle_out_scratch_;
 };
 
 }  // namespace horam

@@ -32,6 +32,31 @@ std::optional<backend_kind> parse_backend_name(std::string_view name) {
   return std::nullopt;
 }
 
+/// The one canonical shuffle-policy name list; index-aligned with
+/// all_shuffle_policies.
+constexpr std::string_view kShufflePolicyNames[] = {
+    "foreground", "async-writeback", "offloaded", "incremental"};
+static_assert(std::size(kShufflePolicyNames) ==
+                  std::size(all_shuffle_policies),
+              "shuffle-policy name list out of sync with "
+              "all_shuffle_policies");
+
+/// Name-parse shared by shuffle_policy_by_name and the builder's named
+/// setter (so both report the same candidates); nullopt on unknown
+/// names.
+std::optional<shuffle_policy> parse_shuffle_policy_name(
+    std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kShufflePolicyNames); ++i) {
+    if (name == kShufflePolicyNames[i]) {
+      return all_shuffle_policies[i];
+    }
+  }
+  if (name == "async_writeback") {
+    return shuffle_policy::async_writeback;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view backend_name(backend_kind kind) {
@@ -47,6 +72,26 @@ backend_kind backend_by_name(std::string_view name) {
   expects(kind.has_value(),
           "unknown backend name (partitioned | sqrt | partition | path)");
   return *kind;
+}
+
+std::string_view shuffle_policy_name(shuffle_policy policy) {
+  const auto index = static_cast<std::size_t>(policy);
+  expects(index < std::size(kShufflePolicyNames),
+          "unknown shuffle policy");
+  return kShufflePolicyNames[index];
+}
+
+std::span<const std::string_view> shuffle_policy_names() {
+  return kShufflePolicyNames;
+}
+
+shuffle_policy shuffle_policy_by_name(std::string_view name) {
+  const std::optional<shuffle_policy> policy =
+      parse_shuffle_policy_name(name);
+  expects(policy.has_value(),
+          "unknown shuffle-policy name (foreground | async-writeback | "
+          "offloaded | incremental)");
+  return *policy;
 }
 
 sim::device_profile storage_profile_by_name(std::string_view name) {
@@ -272,6 +317,23 @@ client_builder& client_builder::cpu(const sim::cpu_profile& profile) {
 
 client_builder& client_builder::shuffle(shuffle_policy policy) {
   config_.shuffle = policy;
+  return *this;
+}
+
+client_builder& client_builder::shuffle(std::string_view name) {
+  const std::optional<shuffle_policy> policy =
+      parse_shuffle_policy_name(name);
+  expects(policy.has_value(),
+          "client_builder: shuffle() got an unknown policy name "
+          "(foreground | async-writeback | offloaded | incremental)");
+  config_.shuffle = *policy;
+  return *this;
+}
+
+client_builder& client_builder::shuffle_slice_budget(sim::sim_time budget) {
+  expects(budget >= 0,
+          "client_builder: shuffle_slice_budget() cannot be negative");
+  config_.shuffle_slice_budget = budget;
   return *this;
 }
 

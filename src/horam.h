@@ -121,6 +121,25 @@ inline constexpr backend_kind all_backend_kinds[] = {
 /// "path-oram"); throws contract_error on unknown names.
 [[nodiscard]] backend_kind backend_by_name(std::string_view name);
 
+/// Every shuffle execution policy, in presentation order (comparison
+/// tables, parameterised tests).
+inline constexpr shuffle_policy all_shuffle_policies[] = {
+    shuffle_policy::foreground, shuffle_policy::async_writeback,
+    shuffle_policy::offloaded, shuffle_policy::incremental};
+
+/// Human-readable shuffle-policy name ("foreground" / "async-writeback"
+/// / "offloaded" / "incremental").
+[[nodiscard]] std::string_view shuffle_policy_name(shuffle_policy policy);
+
+/// The canonical shuffle-policy names, index-aligned with
+/// all_shuffle_policies — the single list name parsing, CLIs, benches
+/// and tests share.
+[[nodiscard]] std::span<const std::string_view> shuffle_policy_names();
+
+/// Parses a shuffle-policy name (canonical names plus the alias
+/// "async_writeback"); throws contract_error on unknown names.
+[[nodiscard]] shuffle_policy shuffle_policy_by_name(std::string_view name);
+
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
 /// "ssd", "nvme". Throws contract_error on unknown names.
 [[nodiscard]] sim::device_profile storage_profile_by_name(
@@ -259,6 +278,14 @@ class client_builder {
 
   /// Shuffle execution policy (default: foreground).
   client_builder& shuffle(shuffle_policy policy);
+  /// Shuffle policy by name (see shuffle_policy_names()), for configs
+  /// and CLIs; throws contract_error naming this setter on unknown
+  /// names.
+  client_builder& shuffle(std::string_view name);
+  /// Device-time budget (ns) of one incremental shuffle slice, pumped
+  /// between access rounds under shuffle_policy::incremental. 0 =
+  /// unbounded: bit-for-bit the foreground machine (default).
+  client_builder& shuffle_slice_budget(sim::sim_time budget);
   /// Partial shuffling cadence (1 = full shuffle every period).
   client_builder& shuffle_every(std::uint32_t periods);
   /// Scheduler stages (group size / period fraction).

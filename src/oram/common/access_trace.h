@@ -40,6 +40,11 @@ enum class event_kind : std::uint8_t {
   shuffle_begin,
   /// One partition shuffled (a = partition index).
   shuffle_partition,
+  /// One incremental shuffle slice pumped between access rounds
+  /// (a = period index of the in-flight job, b = slice ordinal since
+  /// the stats epoch). Only emitted by shuffle_policy::incremental
+  /// with a bounded budget.
+  shuffle_slice,
 };
 
 /// One observable event.

@@ -1,6 +1,8 @@
 #include "oram/path/path_backend.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "util/contracts.h"
 #include "util/math.h"
@@ -117,56 +119,132 @@ oram_backend::load_result path_backend::dummy_load() {
   return result;
 }
 
-horam::shuffle_cost path_backend::shuffle_period(
-    std::vector<evicted_block> evicted, std::uint64_t period_index,
-    std::vector<evicted_block>& overflow_out) {
-  static_cast<void>(overflow_out);  // the stash shelters; never overflows
-  horam::shuffle_cost cost;
-  trace(trace_, event_kind::shuffle_begin, period_index);
-
-  // Fold the hot set back in: fresh uniform leaf per block, recorded in
-  // the recursive map and handed to the tree's stash.
-  for (evicted_block& block : evicted) {
-    expects(block.id < config_.block_count, "evicted id out of range");
-    invariant(cached_[block.id] != 0,
-              "evicted block the bitmap says is on storage");
-    const leaf_id leaf =
-        util::uniform_below(rng_, tree_->config().leaf_count);
-    const cost_split assign_cost = map_->assign(block.id, leaf);
-    const cost_split install_cost =
-        tree_->install(block.id, block.payload, leaf);
-    cost.memory += assign_cost.memory + install_cost.memory;
-    cost.cpu += assign_cost.cpu + install_cost.cpu;
-    cached_[block.id] = 0;
-    --cached_count_;
+/// Incremental shuffle over the Path ORAM layout: slice units are
+/// single stash re-installs, then single stash-drain dummy accesses.
+/// Run back to back the units reproduce the monolithic period exactly;
+/// bounded budgets stop between any two accesses.
+class path_shuffle_job final : public horam::shuffle_job {
+ public:
+  path_shuffle_job(path_backend& owner, std::vector<evicted_block> evicted,
+                   std::uint64_t period_index)
+      : owner_(owner), evicted_(std::move(evicted)) {
+    trace(owner_.trace_, event_kind::shuffle_begin, period_index);
+    for (std::size_t i = 0; i < evicted_.size(); ++i) {
+      expects(evicted_[i].id < owner_.config_.block_count,
+              "evicted id out of range");
+      staged_.emplace(evicted_[i].id, i);
+    }
+    // Stash eviction burst length: a function of the (public) eviction
+    // size only, with a bounded conditional tail so a stubborn stash
+    // still drains; whatever remains stays sheltered in the stash.
+    const std::uint64_t z = owner_.config_.bucket_size;
+    drain_budget_ = owner_.tree_->level_count() +
+                    2 * util::ceil_div(evicted_.size(), z);
+    drain_floor_ = 2 * z;
+    extra_ = 4 * drain_budget_ + 64;
+    owner_.last_drain_accesses_ = 0;
   }
 
-  // Stash eviction: a burst of dummy accesses writes the stash back
-  // into the tree. The burst length is a function of the (public)
-  // eviction size only, with a bounded conditional tail so a stubborn
-  // stash still drains; whatever remains stays sheltered in the stash.
-  const std::uint64_t z = config_.bucket_size;
-  const std::uint64_t budget =
-      tree_->level_count() + 2 * util::ceil_div(evicted.size(), z);
-  const std::uint64_t drain_floor = 2 * z;
-  std::uint64_t extra = 4 * budget + 64;
-  last_drain_accesses_ = 0;
-  const auto drain_once = [&] {
-    const cost_split access_cost = tree_->dummy_access();
+  horam::shuffle_cost step(sim::sim_time device_budget) override {
+    expects(!done(), "shuffle_job::step() after done()");
+    horam::shuffle_cost slice;
+    while (!done()) {
+      if (next_install_ < evicted_.size()) {
+        install_one(slice);
+      } else if (drains_done_ < drain_budget_) {
+        ++drains_done_;
+        drain_once(slice);
+      } else if (owner_.tree_->stash_ref().size() > drain_floor_ &&
+                 extra_ > 0) {
+        --extra_;
+        drain_once(slice);
+      }
+      if (device_budget > 0 && slice.total() >= device_budget) {
+        break;
+      }
+    }
+    return slice;
+  }
+
+  [[nodiscard]] bool done() const noexcept override {
+    return next_install_ >= evicted_.size() &&
+           drains_done_ >= drain_budget_ &&
+           (owner_.tree_->stash_ref().size() <= drain_floor_ ||
+            extra_ == 0);
+  }
+
+  [[nodiscard]] bool holds(block_id id) const override {
+    return staged_.contains(id);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>* staged(block_id id) override {
+    const auto it = staged_.find(id);
+    return it == staged_.end() ? nullptr : &evicted_[it->second].payload;
+  }
+
+  void finish(std::vector<evicted_block>& overflow_out) override {
+    static_cast<void>(overflow_out);  // the stash shelters; no overflow
+    expects(done(), "shuffle_job::finish() before done()");
+    expects(!finished_, "shuffle_job::finish() called twice");
+    ++owner_.stats_.partitions_shuffled;  // the one tree counts as one
+    finished_ = true;
+  }
+
+ private:
+  /// Folds the next hot block back in: fresh uniform leaf, recorded in
+  /// the recursive map and handed to the tree's stash.
+  void install_one(horam::shuffle_cost& cost) {
+    evicted_block& block = evicted_[next_install_++];
+    invariant(owner_.cached_[block.id] != 0,
+              "evicted block the bitmap says is on storage");
+    const leaf_id leaf =
+        util::uniform_below(owner_.rng_, owner_.tree_->config().leaf_count);
+    const cost_split assign_cost = owner_.map_->assign(block.id, leaf);
+    const cost_split install_cost =
+        owner_.tree_->install(block.id, block.payload, leaf);
+    cost.memory += assign_cost.memory + install_cost.memory;
+    cost.cpu += assign_cost.cpu + install_cost.cpu;
+    owner_.cached_[block.id] = 0;
+    --owner_.cached_count_;
+    staged_.erase(block.id);
+  }
+
+  void drain_once(horam::shuffle_cost& cost) {
+    const cost_split access_cost = owner_.tree_->dummy_access();
     cost.io_read += access_cost.io / 2;
     cost.io_write += access_cost.io - access_cost.io / 2;
     cost.memory += access_cost.memory;
     cost.cpu += access_cost.cpu;
-    ++last_drain_accesses_;
-  };
-  for (std::uint64_t i = 0; i < budget; ++i) {
-    drain_once();
-  }
-  while (tree_->stash_ref().size() > drain_floor && extra-- > 0) {
-    drain_once();
+    ++owner_.last_drain_accesses_;
   }
 
-  ++stats_.partitions_shuffled;  // the one tree counts as one partition
+  path_backend& owner_;
+  std::vector<evicted_block> evicted_;
+  std::unordered_map<block_id, std::size_t> staged_;
+  std::size_t next_install_ = 0;
+  std::uint64_t drain_budget_ = 0;
+  std::uint64_t drain_floor_ = 0;
+  std::uint64_t drains_done_ = 0;
+  std::uint64_t extra_ = 0;
+  bool finished_ = false;
+};
+
+std::unique_ptr<horam::shuffle_job> path_backend::begin_shuffle(
+    std::vector<evicted_block> evicted, std::uint64_t period_index) {
+  return std::make_unique<path_shuffle_job>(*this, std::move(evicted),
+                                            period_index);
+}
+
+horam::shuffle_cost path_backend::shuffle_period(
+    std::vector<evicted_block> evicted, std::uint64_t period_index,
+    std::vector<evicted_block>& overflow_out) {
+  std::unique_ptr<horam::shuffle_job> job =
+      begin_shuffle(std::move(evicted), period_index);
+  horam::shuffle_cost cost;
+  while (!job->done()) {
+    cost += job->step(0);
+  }
+  job->finish(overflow_out);
   return cost;
 }
 

@@ -66,9 +66,21 @@ class path_backend final : public horam::oram_backend {
   [[nodiscard]] bool in_storage(block_id id) const override;
   load_result load_block(block_id id) override;
   load_result dummy_load() override;
+  /// Implemented as begin_shuffle() driven to completion in one
+  /// unbounded step, so the monolithic and incremental entry points
+  /// are interchangeable by construction.
   horam::shuffle_cost shuffle_period(
       std::vector<evicted_block> evicted, std::uint64_t period_index,
       std::vector<evicted_block>& overflow_out) override;
+
+  /// Native incremental shuffle: the slice units are single stash
+  /// re-installs (fresh uniform leaf + map assign) followed by single
+  /// stash-drain dummy accesses, so the deamortized pipeline can stop
+  /// after any access. Nothing is ever handed back — the stash is the
+  /// scheme's trusted holding area.
+  [[nodiscard]] std::unique_ptr<horam::shuffle_job> begin_shuffle(
+      std::vector<evicted_block> evicted,
+      std::uint64_t period_index) override;
   [[nodiscard]] const horam::backend_stats& stats() const noexcept override {
     return stats_;
   }
@@ -86,6 +98,8 @@ class path_backend final : public horam::oram_backend {
   }
 
  private:
+  friend class path_shuffle_job;
+
   horam_config config_;
   const sim::cpu_model& cpu_;
   util::random_source& rng_;
