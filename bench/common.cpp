@@ -35,6 +35,10 @@ double seconds_since(
       .count();
 }
 
+/// --threads from the CLI, applied to every run_horam in the process so
+/// existing benches run threaded without touching their run matrices.
+std::uint32_t g_cli_threads = 0;
+
 }  // namespace
 
 machine paper_machine() {
@@ -49,12 +53,27 @@ bench_options parse_bench_args(int argc, char** argv) {
       options.json = true;
     } else if (arg == "--small") {
       options.small = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads needs a value (worker thread count, "
+                     ">= 1)\n";
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || value == 0) {
+        std::cerr << "--threads got '" << argv[i]
+                  << "' (expected an integer >= 1)\n";
+        std::exit(2);
+      }
+      options.threads = static_cast<std::uint32_t>(value);
     } else {
       std::cerr << "unknown flag '" << arg
-                << "' (supported: --json --small)\n";
+                << "' (supported: --json --small --threads N)\n";
       std::exit(2);
     }
   }
+  g_cli_threads = options.threads;
   return options;
 }
 
@@ -106,7 +125,10 @@ std::string json_fields(const system_run& run) {
       << ", \"latency_p99_ns\": " << run.latency_p99
       << ", \"latency_max_ns\": " << run.latency_max
       << ", \"shuffle_slices\": " << run.shuffle_slices
-      << ", \"shuffle_stall_ns\": " << run.shuffle_stall_time;
+      << ", \"shuffle_stall_ns\": " << run.shuffle_stall_time
+      << ", \"runtime\": " << json_escape(run.runtime)
+      << ", \"threads\": " << run.threads
+      << ", \"wall_seconds\": " << run.wall_seconds;
   return out.str();
 }
 
@@ -127,13 +149,20 @@ system_run run_horam(
       .backend(backend)
       .seal(false)  // modelled crypto time; full runs stay fast
       .seed(recipe.seed ^ 0x605a);
+  if (g_cli_threads > 0) {
+    // CLI-wide threading; a per-run config_tweak setting the runtime
+    // itself still wins (tweaks apply later, inside build()).
+    builder.threads(g_cli_threads);
+  }
   if (config_tweak) {
     builder.config_tweak(config_tweak);
   }
 
   client ctrl = builder.build();
   const std::vector<request> stream = make_stream(data, recipe);
+  const auto stream_start = std::chrono::steady_clock::now();
   ctrl.run(stream);
+  const double wall_seconds = seconds_since(stream_start);
 
   const controller_stats& stats = ctrl.stats();
   system_run run;
@@ -162,6 +191,9 @@ system_run run_horam(
   run.latency_max = stats.request_latency.max();
   run.shuffle_slices = stats.shuffle_slices;
   run.shuffle_stall_time = stats.shuffle_stall_time;
+  run.runtime = std::string(runtime_policy_name(ctrl.config().runtime));
+  run.threads = ctrl.eng().worker_threads();
+  run.wall_seconds = wall_seconds;
   run.host_seconds = seconds_since(start);
   return run;
 }
@@ -200,6 +232,7 @@ system_run run_tree_top_path(const dataset& data,
   memory_device.reset_stats();
 
   const std::vector<request> stream = make_stream(data, recipe);
+  const auto stream_start = std::chrono::steady_clock::now();
   sim::sim_time total = 0;
   sim::sim_time io_total = 0;
   for (const request& req : stream) {
@@ -225,6 +258,7 @@ system_run run_tree_top_path(const dataset& data,
   // Physical tree footprint: all buckets at the logical block size.
   run.storage_bytes = (2 * config.leaf_count - 1) * config.bucket_size *
                       data.block_bytes;
+  run.wall_seconds = seconds_since(stream_start);
   run.host_seconds = seconds_since(start);
   return run;
 }

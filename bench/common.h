@@ -51,6 +51,14 @@ struct system_run {
   /// unfinished job (shuffle_policy::incremental only).
   std::uint64_t shuffle_slices = 0;
   sim::sim_time shuffle_stall_time = 0;
+  /// Execution runtime ("sim" / "threaded") and the worker threads
+  /// actually spawned (0 under sim and for single-shard machines).
+  std::string runtime = "sim";
+  std::uint32_t threads = 0;
+  /// Real time spent inside the request stream itself (excludes
+  /// machine construction, unlike host_seconds) — the wall-clock
+  /// number the threaded runtime moves while total_time stays put.
+  double wall_seconds = 0.0;
 };
 
 /// Workload recipe shared by both systems (§5.2.1): hotspot stream with
@@ -105,10 +113,16 @@ struct bench_options {
   bool json = false;
   /// Shrunken configuration for CI smoke runs.
   bool small = false;
+  /// Worker threads for every H-ORAM run in the harness: 0 keeps the
+  /// sim runtime, N > 0 selects runtime_policy::threaded with N
+  /// workers. Applies through run_horam, so every existing ablation
+  /// bench runs threaded without code changes; per-run config tweaks
+  /// still win when they set the runtime themselves.
+  std::uint32_t threads = 0;
 };
 
-/// Parses `--json` and `--small`; unknown flags abort with a usage
-/// message so CI failures are loud.
+/// Parses `--json`, `--small` and `--threads N`; unknown flags abort
+/// with a usage message so CI failures are loud.
 bench_options parse_bench_args(int argc, char** argv);
 
 /// JSON string literal with escaping.

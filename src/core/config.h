@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/runtime_policy.h"
 #include "sim/time.h"
 #include "util/contracts.h"
 #include "util/math.h"
@@ -94,6 +95,18 @@ struct horam_config {
   std::uint32_t shard_round_cap = 0;
   /// Seed of the keyed SipHash PRF that routes block ids to shards.
   std::uint64_t route_key_seed = 0x726f757465;  // "route"
+
+  /// How the engine executes its shard lanes (runtime/runtime_policy.h):
+  /// the single-threaded discrete-event machine, or one worker thread
+  /// per shard. Traces, stats and completion times are identical either
+  /// way for a fixed seed — the runtime only changes wall-clock time.
+  runtime_policy runtime = runtime_policy::sim;
+  /// Worker threads under runtime_policy::threaded. 0 = one per shard;
+  /// values above shard_count are clamped (a shard is confined to one
+  /// thread, so extra workers could never receive work). Ignored by
+  /// runtime_policy::sim and by single-shard engines, which have no
+  /// lanes to overlap.
+  std::uint32_t worker_threads = 0;
 
   /// Recursive position map of the path backend: leaf labels packed
   /// into one map block (the compression factor per recursion level).

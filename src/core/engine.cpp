@@ -22,14 +22,21 @@ crypto::siphash_key make_route_key(std::uint64_t seed) {
   return key;
 }
 
-/// Per-shard RNG seeds: shard 0 keeps the caller's seed exactly (the
-/// single-shard engine is bit-for-bit the historical machine), the rest
-/// decorrelate via the golden-ratio increment.
-std::uint64_t shard_seed(std::uint64_t seed, std::uint32_t shard) {
-  return seed + 0x9e3779b97f4a7c15ULL * shard;
-}
-
 }  // namespace
+
+std::uint64_t engine::derive_shard_seed(std::uint64_t route_key_seed,
+                                        std::uint64_t seed,
+                                        std::uint32_t shard,
+                                        std::uint32_t domain) {
+  // PRF the (domain, shard) pair under the routing key and fold it into
+  // the machine seed: streams stay independent even for adjacent base
+  // seeds, where the old sequential scheme (seed + c * shard) made
+  // shard s under seed k identical to shard s-1 under seed k + c.
+  const crypto::siphash_key key = make_route_key(route_key_seed);
+  const std::uint64_t label =
+      (static_cast<std::uint64_t>(domain) << 32) | shard;
+  return seed ^ crypto::siphash24_u64(key, label);
+}
 
 /// One controller shard with its own device lane.
 struct engine::shard_state {
@@ -114,9 +121,20 @@ engine::engine(const horam_config& config, const sim::cpu_model& cpu,
 
     auto state = std::make_unique<shard_state>();
     state->config = shard_config;
+    // A single-shard engine keeps the caller's seed verbatim — it must
+    // stay bit-for-bit the historical single-controller machine (its
+    // pad stream is never drawn: slots always equal reals). Real shards
+    // get PRF-derived per-shard streams, domain 0 for the ORAM RNG and
+    // domain 1 for the pad-id stream.
+    const std::uint64_t rng_seed =
+        count == 1
+            ? opts.seed
+            : derive_shard_seed(config_.route_key_seed, opts.seed, s, 0);
+    const std::uint64_t pad_seed =
+        derive_shard_seed(config_.route_key_seed, opts.seed, s, 1);
     state->lane = std::make_unique<shard_state::lane_state>(
-        opts.storage_profile, opts.memory_profile, shard_seed(opts.seed, s),
-        shard_seed(opts.seed ^ 0x7061645fULL, s + 1), opts.trace);
+        opts.storage_profile, opts.memory_profile, rng_seed, pad_seed,
+        opts.trace);
     oram::access_trace* trace =
         state->lane->trace.has_value() ? &*state->lane->trace : nullptr;
     std::unique_ptr<oram_backend> backend =
@@ -132,6 +150,23 @@ engine::engine(const horam_config& config, const sim::cpu_model& cpu,
     shards_.push_back(std::move(state));
   }
   queues_.resize(count);
+
+  if (config_.runtime == runtime_policy::threaded && count > 1) {
+    // One worker per shard by default; explicit worker_threads clamps
+    // to the shard count (shard s is confined to worker s % threads, so
+    // extra workers could never receive work). A single-shard engine
+    // stays on the calling thread: it is a pure pass-through with no
+    // lanes to overlap, and spawning a worker would only add a hop.
+    const std::uint32_t threads =
+        config_.worker_threads == 0
+            ? count
+            : std::min(config_.worker_threads, count);
+    reports_ = std::make_unique<runtime::mailbox<lane_report>>(count);
+    // Job-queue capacity: a round posts at most ceil(count / threads)
+    // jobs per worker; sizing boxes at the shard count means post()
+    // never blocks the coordinator.
+    pool_ = std::make_unique<runtime::worker_pool>(threads, count);
+  }
 }
 
 engine::~engine() = default;
@@ -170,59 +205,112 @@ oram::block_id engine::shard_local_id(oram::block_id id) const {
   return shards_.size() == 1 ? id : local_id_of_[id];
 }
 
-sim::sim_time engine::run_lane(std::uint32_t index,
-                               std::deque<routed>& queue,
-                               std::size_t reals, std::size_t slots,
-                               sim::sim_time start,
-                               std::vector<completed>* out) {
-  shard_state& sh = *shards_[index];
-  std::vector<request> batch;
-  std::vector<std::uint64_t> tags;
-  batch.reserve(slots);
-  tags.reserve(reals);
-  for (std::size_t i = 0; i < reals; ++i) {
-    routed entry = std::move(queue.front());
-    queue.pop_front();
-    tags.push_back(entry.tag);
-    batch.push_back(std::move(entry.req));
-  }
-  for (std::size_t i = reals; i < slots; ++i) {
-    request pad;
-    pad.op = oram::op_kind::read;
-    pad.id = util::uniform_below(sh.lane->pad_rng, sh.config.block_count);
-    batch.push_back(std::move(pad));
-  }
-
-  // Padded lanes always collect results: the router needs the hit/miss
-  // split of its own padding to keep stats() application-level. The
-  // single-shard pass honors the caller's choice exactly.
-  const bool want_results = slots > reals || out != nullptr;
-  const sim::sim_time local_start = sh.ctrl->now();
-  std::vector<request_result> results;
-  sh.ctrl->run(batch, want_results ? &results : nullptr);
-
-  if (want_results) {
-    for (std::size_t i = 0; i < reals && out != nullptr; ++i) {
-      completed done;
-      done.tag = tags[i];
-      done.result = std::move(results[i]);
-      // Completion-ordering layer: shard-local sim-time offsets map
-      // onto the global clock at the lane's start.
-      done.result.completion_time =
-          start + (done.result.completion_time - local_start);
-      out->push_back(std::move(done));
+engine::lane_report engine::service_lane(lane_task&& task,
+                                         sim::sim_time start) noexcept {
+  lane_report report;
+  report.shard = task.shard;
+  report.reals = task.reals.size();
+  try {
+    shard_state& sh = *shards_[task.shard];
+    const std::size_t reals = task.reals.size();
+    std::vector<request> batch;
+    std::vector<std::uint64_t> tags;
+    batch.reserve(task.slots);
+    tags.reserve(reals);
+    for (routed& entry : task.reals) {
+      tags.push_back(entry.tag);
+      batch.push_back(std::move(entry.req));
     }
-    for (std::size_t i = reals; i < slots; ++i) {
-      ++stats_.pad_requests;
-      if (results[i].hit) {
-        ++stats_.pad_hits;
-      } else {
-        ++stats_.pad_misses;
+    for (std::size_t i = reals; i < task.slots; ++i) {
+      request pad;
+      pad.op = oram::op_kind::read;
+      pad.id = util::uniform_below(sh.lane->pad_rng, sh.config.block_count);
+      batch.push_back(std::move(pad));
+    }
+
+    // Padded lanes always collect results: the router needs the
+    // hit/miss split of its own padding to keep stats()
+    // application-level. The single-shard pass honors the caller's
+    // choice exactly.
+    const bool want_results = task.slots > reals || task.want_out;
+    const sim::sim_time local_start = sh.ctrl->now();
+    std::vector<request_result> results;
+    sh.ctrl->run(batch, want_results ? &results : nullptr);
+
+    if (want_results) {
+      for (std::size_t i = 0; i < reals && task.want_out; ++i) {
+        completed done;
+        done.tag = tags[i];
+        done.result = std::move(results[i]);
+        // Completion-ordering layer: shard-local sim-time offsets map
+        // onto the global clock at the lane's start.
+        done.result.completion_time =
+            start + (done.result.completion_time - local_start);
+        report.completions.push_back(std::move(done));
+      }
+      for (std::size_t i = reals; i < task.slots; ++i) {
+        ++report.pad_requests;
+        if (results[i].hit) {
+          ++report.pad_hits;
+        } else {
+          ++report.pad_misses;
+        }
       }
     }
+    report.elapsed = sh.ctrl->now() - local_start;
+  } catch (...) {
+    // Workers must not throw (an escape would terminate the process);
+    // the failure crosses back to the coordinator as data and is
+    // rethrown there in shard-index order.
+    report.error = std::current_exception();
   }
-  stats_.real_requests += reals;
-  return sh.ctrl->now() - local_start;
+  return report;
+}
+
+std::vector<engine::lane_report> engine::run_lanes(
+    std::vector<lane_task>&& tasks, sim::sim_time start) {
+  std::vector<lane_report> reports(tasks.size());
+  if (pool_ == nullptr || tasks.size() <= 1) {
+    // Sim runtime (or a degenerate fan-out): lanes run sequentially on
+    // the calling thread, failures surface immediately.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      reports[i] = service_lane(std::move(tasks[i]), start);
+      if (reports[i].error != nullptr) {
+        std::rethrow_exception(reports[i].error);
+      }
+    }
+    return reports;
+  }
+
+  // Threaded runtime: shard s is pinned to worker s % threads (its
+  // thread-confinement home), reports come back through the mailbox in
+  // whatever order lanes finish and are placed by their task index.
+  // Every report is collected before any error is rethrown — abandoning
+  // in-flight lanes would leave workers pushing into a dead round.
+  const std::size_t threads = pool_->size();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::size_t worker = tasks[i].shard % threads;
+    const bool posted = pool_->post(
+        worker, [this, task = std::move(tasks[i]), start, slot = i]() mutable {
+          lane_report report = service_lane(std::move(task), start);
+          report.slot = slot;
+          reports_->push(std::move(report));
+        });
+    invariant(posted, "worker pool refused a lane job");
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    lane_report report;
+    const bool popped = reports_->pop(report);
+    invariant(popped, "report mailbox closed mid-round");
+    invariant(report.slot < reports.size(), "lane report slot out of range");
+    reports[report.slot] = std::move(report);
+  }
+  for (const lane_report& report : reports) {
+    if (report.error != nullptr) {
+      std::rethrow_exception(report.error);
+    }
+  }
+  return reports;
 }
 
 void engine::log_rounds(std::uint64_t rounds) {
@@ -238,14 +326,33 @@ void engine::log_rounds(std::uint64_t rounds) {
   stats_.rounds += rounds;
 }
 
+void engine::merge_report(lane_report&& report, std::vector<completed>* out,
+                          sim::sim_time& longest) {
+  // Lanes run in parallel: the round lasts its slowest shard.
+  longest = std::max(longest, report.elapsed);
+  stats_.real_requests += report.reals;
+  stats_.pad_requests += report.pad_requests;
+  stats_.pad_hits += report.pad_hits;
+  stats_.pad_misses += report.pad_misses;
+  if (out != nullptr) {
+    for (completed& c : report.completions) {
+      out->push_back(std::move(c));
+    }
+  }
+}
+
 std::uint64_t engine::execute_round(std::vector<std::deque<routed>>& queues,
                                     std::vector<completed>* out) {
   const bool padded = shard_count() > 1;
   const sim::sim_time round_start = now();
-  sim::sim_time longest = 0;
-  std::uint64_t serviced = 0;
   const std::size_t out_base = out != nullptr ? out->size() : 0;
 
+  // Phase 1 (coordinator): pop this round's real requests off the
+  // routing queues into per-lane task messages. The queues themselves
+  // never cross a thread boundary.
+  std::vector<lane_task> tasks;
+  tasks.reserve(shard_count());
+  std::uint64_t serviced = 0;
   for (std::uint32_t s = 0; s < shard_count(); ++s) {
     // Every shard executes the full public cap when sharding is on —
     // real requests first, dummies after — so the per-shard bus shape
@@ -257,14 +364,34 @@ std::uint64_t engine::execute_round(std::vector<std::deque<routed>>& queues,
     if (slots == 0) {
       continue;  // single-shard engine with an empty queue
     }
-    longest = std::max(
-        longest, run_lane(s, queues[s], reals, slots, round_start, out));
+    lane_task task;
+    task.shard = s;
+    task.slots = slots;
+    task.want_out = out != nullptr;
+    task.reals.reserve(reals);
+    for (std::size_t i = 0; i < reals; ++i) {
+      task.reals.push_back(std::move(queues[s].front()));
+      queues[s].pop_front();
+    }
     serviced += reals;
+    tasks.push_back(std::move(task));
+  }
+
+  // Phase 2: execute the lanes — sequentially (sim) or on the
+  // per-shard workers (threaded).
+  std::vector<lane_report> reports =
+      run_lanes(std::move(tasks), round_start);
+
+  // Phase 3 (coordinator): merge reports in task (= shard-index)
+  // order, the exact order the sequential machine produces, whatever
+  // order the lanes actually finished in.
+  sim::sim_time longest = 0;
+  for (lane_report& report : reports) {
+    merge_report(std::move(report), out, longest);
   }
 
   if (padded) {
     log_rounds(1);
-    // Lanes run in parallel: the round lasts its slowest shard.
     global_now_ = round_start + longest;
     if (out != nullptr) {
       std::stable_sort(
@@ -281,8 +408,6 @@ std::uint64_t engine::run_buckets(std::vector<std::deque<routed>>& buckets,
                                   std::vector<completed>* out) {
   const bool padded = shard_count() > 1;
   const sim::sim_time start = now();
-  sim::sim_time longest = 0;
-  std::uint64_t serviced = 0;
 
   // Open-loop batch execution: the whole bucket is known up front, so
   // every lane runs independently — one controller batch per shard,
@@ -301,15 +426,33 @@ std::uint64_t engine::run_buckets(std::vector<std::deque<routed>>& buckets,
     }
   }
 
+  std::vector<lane_task> tasks;
+  tasks.reserve(shard_count());
+  std::uint64_t serviced = 0;
   for (std::uint32_t s = 0; s < shard_count(); ++s) {
     const std::size_t reals = buckets[s].size();
     const std::size_t slots = padded ? rounds * round_cap_ : reals;
     if (slots == 0) {
       continue;  // single-shard engine with an empty bucket
     }
-    longest = std::max(longest,
-                       run_lane(s, buckets[s], reals, slots, start, out));
+    lane_task task;
+    task.shard = s;
+    task.slots = slots;
+    task.want_out = out != nullptr;
+    task.reals.reserve(reals);
+    for (std::size_t i = 0; i < reals; ++i) {
+      task.reals.push_back(std::move(buckets[s].front()));
+      buckets[s].pop_front();
+    }
     serviced += reals;
+    tasks.push_back(std::move(task));
+  }
+
+  std::vector<lane_report> reports = run_lanes(std::move(tasks), start);
+
+  sim::sim_time longest = 0;
+  for (lane_report& report : reports) {
+    merge_report(std::move(report), out, longest);
   }
 
   if (padded) {

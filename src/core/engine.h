@@ -24,11 +24,24 @@
 // shard_count == 1 degenerates to an exact pass-through around one
 // controller: no PRF, no padding, no time mapping — bit-for-bit the
 // historical single-controller behavior (tests assert this).
+//
+// Execution runtime: lanes are serviced either by the historical
+// single-threaded machine (runtime_policy::sim) or by per-shard worker
+// threads (runtime_policy::threaded, src/runtime/). Either way a
+// shard's controller, backend, devices, RNG and trace are touched by
+// exactly one thread at a time: under the threaded runtime shard s is
+// confined to worker s % worker_threads(), the coordinator keeps the
+// routing queues, and the only data crossing threads are lane_task
+// messages in and lane_report messages out through bounded mailboxes.
+// Reports merge in shard-index order regardless of finish order, so a
+// fixed seed produces bit-for-bit identical traces, stats and
+// completion times under both runtimes.
 #ifndef HORAM_CORE_ENGINE_H
 #define HORAM_CORE_ENGINE_H
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -40,6 +53,8 @@
 #include "crypto/siphash.h"
 #include "oram/common/access_trace.h"
 #include "oram/common/types.h"
+#include "runtime/mailbox.h"
+#include "runtime/worker_pool.h"
 #include "sim/cpu_model.h"
 #include "sim/device.h"
 #include "util/rng.h"
@@ -120,6 +135,23 @@ class engine {
   [[nodiscard]] std::uint32_t round_cap() const noexcept {
     return round_cap_;
   }
+  /// Worker threads servicing shard lanes: 0 under runtime_policy::sim
+  /// (and for single-shard engines, which have nothing to overlap),
+  /// otherwise the clamped thread count actually spawned.
+  [[nodiscard]] std::uint32_t worker_threads() const noexcept {
+    return pool_ != nullptr ? static_cast<std::uint32_t>(pool_->size()) : 0;
+  }
+
+  /// Per-shard seed derivation: a SipHash PRF keyed by route_key_seed
+  /// over (domain, shard), XOR-folded into the machine seed. Distinct
+  /// shards and domains (0 = the shard's ORAM RNG, 1 = its pad-id
+  /// stream) get independent streams regardless of how close the base
+  /// seeds are — unlike sequential seeding, nearby seeds can never
+  /// alias a neighbouring shard's stream. Exposed for the RNG-hygiene
+  /// regression tests.
+  [[nodiscard]] static std::uint64_t derive_shard_seed(
+      std::uint64_t route_key_seed, std::uint64_t seed, std::uint32_t shard,
+      std::uint32_t domain);
 
   // --------------------------------------------------------- batch API
 
@@ -220,6 +252,36 @@ class engine {
 
   struct shard_state;
 
+  /// Routed-requests-in message: everything one lane execution needs,
+  /// popped off the coordinator's queues so the queues themselves never
+  /// cross a thread boundary.
+  struct lane_task {
+    std::uint32_t shard = 0;
+    /// Real requests to service (already shard-local); dummy-topped up
+    /// to `slots` inside the lane.
+    std::vector<routed> reals;
+    std::size_t slots = 0;
+    /// Whether the caller wants real-request completions back.
+    bool want_out = false;
+  };
+  /// Completion-records-out message: the lane's whole observable
+  /// outcome, merged by the coordinator in shard-index order so the
+  /// merge is independent of thread finish order.
+  struct lane_report {
+    /// Index of the originating task in the round's task list; lets the
+    /// collector place out-of-order mailbox arrivals deterministically.
+    std::size_t slot = 0;
+    std::uint32_t shard = 0;
+    sim::sim_time elapsed = 0;
+    std::uint64_t reals = 0;
+    std::uint64_t pad_requests = 0;
+    std::uint64_t pad_hits = 0;
+    std::uint64_t pad_misses = 0;
+    std::vector<completed> completions;
+    /// Failure shipped back as data; workers must not throw.
+    std::exception_ptr error;
+  };
+
   [[nodiscard]] std::uint32_t derive_round_cap() const;
   /// Executes one padded round over `queues` (per-shard routed
   /// requests); appends completions to `out` (null = discard results)
@@ -231,13 +293,24 @@ class engine {
   /// controller batch; lanes overlap, the batch lasts the slowest one.
   std::uint64_t run_buckets(std::vector<std::deque<routed>>& buckets,
                             std::vector<completed>* out);
-  /// Shared lane executor: pops `reals` requests off `queue`, pads to
-  /// `slots` dummy-topped request slots, runs them on shard `index` and
-  /// maps completions onto the global clock at `start`; returns the
-  /// lane's elapsed virtual time.
-  sim::sim_time run_lane(std::uint32_t index, std::deque<routed>& queue,
-                         std::size_t reals, std::size_t slots,
-                         sim::sim_time start, std::vector<completed>* out);
+  /// Pure lane executor: pads task.reals to task.slots dummy-topped
+  /// request slots, runs them on the task's shard and maps completions
+  /// onto the global clock at `start`. Touches only that shard's state
+  /// (thread-confined under the threaded runtime); router bookkeeping
+  /// travels back in the report. Never throws — failures ship as
+  /// report.error.
+  lane_report service_lane(lane_task&& task, sim::sim_time start) noexcept;
+  /// Runs every task and returns their reports in task order —
+  /// sequentially on the calling thread (sim), or fanned out to the
+  /// per-shard workers and collected from the report mailbox
+  /// (threaded). Rethrows the first failed lane in shard-index order
+  /// after every report is in.
+  std::vector<lane_report> run_lanes(std::vector<lane_task>&& tasks,
+                                     sim::sim_time start);
+  /// Merges one lane's report into router state: stats, completions,
+  /// the round's longest-lane tracking.
+  void merge_report(lane_report&& report, std::vector<completed>* out,
+                    sim::sim_time& longest);
   /// Appends `rounds` uniform cap-per-shard entries to the bounded
   /// round log.
   void log_rounds(std::uint64_t rounds);
@@ -265,6 +338,12 @@ class engine {
   std::deque<std::vector<std::uint32_t>> round_log_;
   /// Cache backing the stats() reference.
   mutable controller_stats aggregate_;
+
+  /// Threaded runtime (null under runtime_policy::sim and for
+  /// single-shard engines). Declared last so workers are stopped and
+  /// joined before anything they might reference is torn down.
+  std::unique_ptr<runtime::mailbox<lane_report>> reports_;
+  std::unique_ptr<runtime::worker_pool> pool_;
 };
 
 }  // namespace horam

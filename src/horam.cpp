@@ -57,6 +57,26 @@ std::optional<shuffle_policy> parse_shuffle_policy_name(
   return std::nullopt;
 }
 
+/// The one canonical runtime-policy name list; index-aligned with
+/// all_runtime_policies.
+constexpr std::string_view kRuntimePolicyNames[] = {"sim", "threaded"};
+static_assert(std::size(kRuntimePolicyNames) ==
+                  std::size(all_runtime_policies),
+              "runtime-policy name list out of sync with "
+              "all_runtime_policies");
+
+/// Name-parse shared by runtime_policy_by_name and the builder's named
+/// setter; nullopt on unknown names.
+std::optional<runtime_policy> parse_runtime_policy_name(
+    std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kRuntimePolicyNames); ++i) {
+    if (name == kRuntimePolicyNames[i]) {
+      return all_runtime_policies[i];
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view backend_name(backend_kind kind) {
@@ -91,6 +111,24 @@ shuffle_policy shuffle_policy_by_name(std::string_view name) {
   expects(policy.has_value(),
           "unknown shuffle-policy name (foreground | async-writeback | "
           "offloaded | incremental)");
+  return *policy;
+}
+
+std::string_view runtime_policy_name(runtime_policy policy) {
+  const auto index = static_cast<std::size_t>(policy);
+  expects(index < std::size(kRuntimePolicyNames), "unknown runtime policy");
+  return kRuntimePolicyNames[index];
+}
+
+std::span<const std::string_view> runtime_policy_names() {
+  return kRuntimePolicyNames;
+}
+
+runtime_policy runtime_policy_by_name(std::string_view name) {
+  const std::optional<runtime_policy> policy =
+      parse_runtime_policy_name(name);
+  expects(policy.has_value(),
+          "unknown runtime-policy name (sim | threaded)");
   return *policy;
 }
 
@@ -290,6 +328,30 @@ client_builder& client_builder::backend(std::string_view name) {
 
 client_builder& client_builder::shards(std::uint32_t count) {
   config_.shard_count = count;
+  return *this;
+}
+
+client_builder& client_builder::runtime(runtime_policy policy) {
+  config_.runtime = policy;
+  return *this;
+}
+
+client_builder& client_builder::runtime(std::string_view name) {
+  const std::optional<runtime_policy> policy =
+      parse_runtime_policy_name(name);
+  expects(policy.has_value(),
+          "client_builder: runtime() got an unknown policy name "
+          "(sim | threaded)");
+  config_.runtime = *policy;
+  return *this;
+}
+
+client_builder& client_builder::threads(std::uint32_t n) {
+  expects(n >= 1,
+          "client_builder: threads() must be at least 1 — select "
+          "runtime(runtime_policy::sim) to stay single-threaded");
+  config_.worker_threads = n;
+  config_.runtime = runtime_policy::threaded;
   return *this;
 }
 

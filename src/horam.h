@@ -42,7 +42,10 @@
 // router (core/engine.h) — requests route by a keyed PRF over the block
 // id, every shard's round is padded to a public cap so the per-shard
 // bus shape stays data-independent, and shards(1) is bit-for-bit the
-// historical single-controller machine.
+// historical single-controller machine. threads(n) additionally runs
+// the shard lanes on n real worker threads (src/runtime/): traces,
+// stats and completion times stay bit-for-bit identical to the
+// single-threaded machine — only wall-clock time changes.
 //
 // Layering (Figure 4-1 of the paper, plus the service and engine
 // layers):
@@ -139,6 +142,18 @@ inline constexpr shuffle_policy all_shuffle_policies[] = {
 /// Parses a shuffle-policy name (canonical names plus the alias
 /// "async_writeback"); throws contract_error on unknown names.
 [[nodiscard]] shuffle_policy shuffle_policy_by_name(std::string_view name);
+
+/// Human-readable runtime-policy name ("sim" / "threaded").
+[[nodiscard]] std::string_view runtime_policy_name(runtime_policy policy);
+
+/// The canonical runtime-policy names, index-aligned with
+/// all_runtime_policies (runtime/runtime_policy.h) — the single list
+/// name parsing, CLIs, benches and tests share.
+[[nodiscard]] std::span<const std::string_view> runtime_policy_names();
+
+/// Parses a runtime-policy name; throws contract_error on unknown
+/// names.
+[[nodiscard]] runtime_policy runtime_policy_by_name(std::string_view name);
 
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
 /// "ssd", "nvme". Throws contract_error on unknown names.
@@ -268,6 +283,19 @@ class client_builder {
   /// The memory budget splits evenly across shards; each shard gets its
   /// own backend instance and storage/memory device lane.
   client_builder& shards(std::uint32_t count);
+  /// Execution runtime for the shard lanes (default: sim, the
+  /// single-threaded discrete-event machine). threaded confines each
+  /// shard to a worker thread (src/runtime/); traces, stats and
+  /// completion times are identical either way for a fixed seed — only
+  /// wall-clock time differs.
+  client_builder& runtime(runtime_policy policy);
+  /// Runtime by name (see runtime_policy_names()), for configs and
+  /// CLIs; throws contract_error naming this setter on unknown names.
+  client_builder& runtime(std::string_view name);
+  /// Shorthand for the threaded runtime with `n` worker threads
+  /// (n >= 1; clamped to the shard count at engine construction, since
+  /// a shard is confined to exactly one thread).
+  client_builder& threads(std::uint32_t n);
   /// Storage device behind the backend (default: paper-calibrated HDD).
   client_builder& storage_profile(const sim::device_profile& profile);
   client_builder& storage_profile(std::string_view name);

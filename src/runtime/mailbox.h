@@ -1,0 +1,138 @@
+// Bounded MPSC mailbox: the cross-shard message layer of the threaded
+// runtime.
+//
+// Everything that crosses a thread boundary in the runtime travels
+// through one of these: routed requests flow from the coordinator into
+// a worker's job queue, completion records flow from workers back to
+// the coordinator's collector. The mailbox is deliberately boring —
+// a mutex, two condition variables and a deque — because the hot state
+// (controller, backend, devices, RNG) never crosses threads at all;
+// only small message structs do, so lock-free cleverness would buy
+// nothing measurable and cost auditability. The mutex acquire/release
+// pair is also what publishes each message's payload to the consumer
+// (the happens-before edge determinism leans on).
+//
+// Semantics:
+//   * push() blocks while the box is full; returns false iff the box
+//     was closed before the item could be accepted.
+//   * pop() blocks while the box is empty; a closed box still drains —
+//     pop() keeps returning queued items and only returns false once
+//     the box is both closed and empty. Close is therefore a graceful
+//     shutdown signal, not a drop.
+//   * close() is idempotent and wakes every blocked producer/consumer.
+#ifndef HORAM_RUNTIME_MAILBOX_H
+#define HORAM_RUNTIME_MAILBOX_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace horam::runtime {
+
+/// Bounded multi-producer single-consumer queue with blocking push/pop
+/// and drain-on-close shutdown. T must be movable.
+template <typename T>
+class mailbox {
+ public:
+  /// Creates a mailbox holding at most `capacity` items; capacity must
+  /// be nonzero (a zero-capacity box could never accept a message).
+  explicit mailbox(std::size_t capacity) : capacity_(capacity) {
+    expects(capacity > 0, "mailbox with zero capacity");
+  }
+
+  mailbox(const mailbox&) = delete;
+  mailbox& operator=(const mailbox&) = delete;
+
+  /// Enqueues an item, blocking while the box is full. Returns false
+  /// iff the box was closed before the item was accepted (the item is
+  /// dropped in that case).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues without blocking. Returns false if the box is full or
+  /// closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `out`, blocking while the box is empty. Returns
+  /// false only once the box is closed AND fully drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Dequeues without blocking; empty optional if nothing is ready.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Marks the box closed and wakes all waiters. Queued items remain
+  /// poppable; further pushes are refused. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Items currently queued (racy by nature; for tests and telemetry).
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace horam::runtime
+
+#endif  // HORAM_RUNTIME_MAILBOX_H

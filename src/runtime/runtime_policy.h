@@ -1,0 +1,42 @@
+// Execution-runtime selection for the sharded engine (src/runtime/).
+//
+// The engine's shard lanes are independent machines; the runtime policy
+// decides what executes them:
+//
+//   * sim      — the historical single-threaded discrete-event machine:
+//                lanes run sequentially on the calling thread and only
+//                virtual time models their parallelism.
+//   * threaded — each shard is confined to a worker thread
+//                (runtime/worker_pool.h); lanes genuinely overlap on
+//                the host's cores. Traces, stats and completion times
+//                are bit-for-bit identical to sim for a fixed seed —
+//                only wall-clock time differs — which is what lets the
+//                obliviousness audits and differential-replay suites
+//                carry over unchanged.
+//
+// The enum lives here (not core/config.h) so the runtime subsystem owns
+// its vocabulary; name helpers follow the backend/shuffle-policy
+// pattern in horam.h.
+#ifndef HORAM_RUNTIME_RUNTIME_POLICY_H
+#define HORAM_RUNTIME_RUNTIME_POLICY_H
+
+#include <cstdint>
+
+namespace horam {
+
+/// How the engine executes its shard lanes.
+enum class runtime_policy : std::uint8_t {
+  /// Single-threaded discrete-event simulation (the default).
+  sim,
+  /// Per-shard worker threads behind a cross-shard mailbox layer.
+  threaded,
+};
+
+/// Every selectable runtime, in presentation order (comparison tables,
+/// parameterised tests).
+inline constexpr runtime_policy all_runtime_policies[] = {
+    runtime_policy::sim, runtime_policy::threaded};
+
+}  // namespace horam
+
+#endif  // HORAM_RUNTIME_RUNTIME_POLICY_H

@@ -1,0 +1,49 @@
+#include "runtime/worker_pool.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace horam::runtime {
+
+worker_pool::worker_pool(std::size_t threads, std::size_t queue_capacity) {
+  expects(threads > 0, "worker_pool with zero threads");
+  boxes_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    boxes_.push_back(std::make_unique<mailbox<job>>(queue_capacity));
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { run_worker(i); });
+  }
+}
+
+worker_pool::~worker_pool() { stop(); }
+
+bool worker_pool::post(std::size_t worker, job work) {
+  expects(worker < boxes_.size(), "post to out-of-range worker");
+  return boxes_[worker]->push(std::move(work));
+}
+
+void worker_pool::stop() noexcept {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& box : boxes_) box->close();
+  for (auto& thread : workers_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void worker_pool::run_worker(std::size_t index) {
+  mailbox<job>& box = *boxes_[index];
+  job work;
+  // pop() parks the worker on the mailbox condvar while idle and keeps
+  // returning queued jobs after close() — the graceful-drain guarantee.
+  while (box.pop(work)) {
+    work();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    work = nullptr;  // release captured state promptly between jobs
+  }
+}
+
+}  // namespace horam::runtime

@@ -1,0 +1,80 @@
+// Worker lifecycle for the threaded runtime: N real threads, each
+// parked on its own bounded job mailbox.
+//
+// The pool is a deliberately minimal executor. Each worker owns one
+// mailbox<job> and loops pop() → run; pop() blocking on the mailbox's
+// condition variable IS the idle-parking mechanism — a worker with an
+// empty box consumes no CPU. Giving every worker a private box (rather
+// than one shared work-stealing queue) is what makes shard→thread
+// confinement trivial: the engine posts shard s's lane job to worker
+// s % size(), so a given shard's controller, backend, devices, RNG and
+// trace are only ever touched from that one thread, and same-worker
+// jobs run in posting order.
+//
+// Shutdown is a graceful drain: stop() closes every box (drain-on-close
+// mailbox semantics keep already-queued jobs runnable), then joins.
+// The destructor calls stop(), so a pool going out of scope never
+// abandons queued work or leaks threads.
+#ifndef HORAM_RUNTIME_WORKER_POOL_H
+#define HORAM_RUNTIME_WORKER_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.h"
+
+namespace horam::runtime {
+
+/// Fixed set of worker threads, each draining a private bounded job
+/// mailbox. Jobs must not throw — the engine wraps lane execution and
+/// ships failures back as data (an escaped exception would terminate).
+class worker_pool {
+ public:
+  using job = std::function<void()>;
+
+  /// Spawns `threads` workers (must be nonzero), each with a job
+  /// mailbox holding up to `queue_capacity` pending jobs.
+  explicit worker_pool(std::size_t threads, std::size_t queue_capacity = 64);
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  /// Stops and joins all workers (graceful drain).
+  ~worker_pool();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Posts a job to the given worker's mailbox, blocking while that
+  /// mailbox is full. Jobs posted to the same worker run in posting
+  /// order. Returns false iff the pool has been stopped.
+  bool post(std::size_t worker, job work);
+
+  /// Closes every mailbox, lets workers finish queued jobs, and joins
+  /// them. Idempotent and called by the destructor.
+  void stop() noexcept;
+
+  /// Total jobs completed across all workers (tests, telemetry).
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_worker(std::size_t index);
+
+  // unique_ptr because mailbox is immovable and threads capture stable
+  // addresses into it.
+  std::vector<std::unique_ptr<mailbox<job>>> boxes_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> executed_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace horam::runtime
+
+#endif  // HORAM_RUNTIME_WORKER_POOL_H
