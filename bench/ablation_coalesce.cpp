@@ -1,0 +1,254 @@
+// Ablation for the request-coalescing subsystem (src/coalesce/):
+// physical ORAM accesses per logical request as workload skew rises,
+// for each backend and shard count, coalescing off vs on at the *same*
+// public round cap.
+//
+// The runs pump through the asynchronous service layer — sessions admit
+// the stream, the tenant scheduler hands the engine one round's worth
+// of slots at a time — rather than an open-loop drain of the whole
+// batch, so a round can only merge the duplicates that are genuinely
+// concurrent under the scheduler's own admission window. Off rows are
+// the control: every logical request pays one physical access
+// (IOs/req = 1.0) by construction. On rows show the constant factor
+// coalescing removes: uniform traffic stays near 1.0 while skewed
+// streams (zipfian, hot-set) retire many tickets per access.
+//
+// Every run writes BENCH_coalesce.json to the working directory so the
+// trajectory is machine-readable (CI uploads it as an artifact);
+// `--json` additionally emits the document to stdout instead of the
+// table and `--small` shrinks the sweep for smoke runs.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace horam;
+using namespace horam::bench;
+
+constexpr std::uint64_t kSeed = 2019;
+constexpr std::uint32_t kSessions = 4;
+
+/// One skew point of the sweep.
+struct workload_spec {
+  std::string name;
+  /// 0 = uniform, > 0 = zipfian exponent s.
+  double zipf_s = 0.0;
+  /// True = scattered hot-set stream instead (the duplicate-heavy
+  /// shape request coalescing targets hardest).
+  bool hot_set = false;
+};
+
+std::vector<request> make_stream(const workload_spec& spec,
+                                 util::random_source& rng,
+                                 const workload::stream_config& config) {
+  if (spec.hot_set) {
+    return workload::hot_set(rng, config, 0.95, 8);
+  }
+  if (spec.zipf_s > 0.0) {
+    return workload::zipfian(rng, config, spec.zipf_s);
+  }
+  return workload::uniform(rng, config);
+}
+
+/// One service-layer run of a prepared stream.
+struct cell_run {
+  std::uint64_t requests = 0;
+  std::uint64_t physical = 0;
+  std::uint64_t merged = 0;
+  double ios_per_request = 1.0;
+  std::uint32_t round_cap = 0;
+  std::uint64_t rounds = 0;
+  sim::sim_time total_time = 0;
+  double throughput = 0.0;
+  double wall_seconds = 0.0;
+};
+
+cell_run run_cell(const std::vector<request>& stream, backend_kind kind,
+                  std::uint32_t shards, bool coalescing,
+                  std::uint64_t blocks, std::uint64_t memory_blocks,
+                  std::uint32_t threads) {
+  client_builder builder = client_builder()
+                               .blocks(blocks)
+                               .memory_blocks(memory_blocks)
+                               .payload_bytes(32)
+                               .backend(kind)
+                               .shards(shards)
+                               .coalescing(coalescing)
+                               .seed(kSeed);
+  if (threads > 0) {
+    builder.threads(std::min(threads, shards));
+  }
+  service svc = builder.build_service();
+  std::vector<session> users;
+  users.reserve(kSessions);
+  for (std::uint32_t u = 0; u < kSessions; ++u) {
+    users.push_back(svc.open_session());
+  }
+
+  const sim::sim_time epoch = svc.now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const request& req = stream[i];
+    session& user = users[i % kSessions];
+    if (req.op == oram::op_kind::write) {
+      (void)user.async_write(req.id, req.write_data);
+    } else {
+      (void)user.async_read(req.id);
+    }
+  }
+  svc.run_until_idle();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const engine_stats& router = svc.underlying().eng().router_stats();
+  cell_run run;
+  run.requests = router.real_requests;
+  run.physical = router.physical_accesses;
+  run.merged = router.coalesced_requests;
+  run.ios_per_request = router.ios_per_logical_request();
+  run.round_cap = svc.underlying().eng().round_cap();
+  run.rounds = router.rounds;
+  run.total_time = svc.now() - epoch;
+  run.throughput = run.total_time > 0
+                       ? static_cast<double>(run.requests) * 1e9 /
+                             static_cast<double>(run.total_time)
+                       : 0.0;
+  run.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench_options options = parse_bench_args(argc, argv);
+
+  const std::uint64_t blocks = options.small ? 2048 : 16384;
+  const std::uint64_t memory_blocks = blocks / 8;
+  const std::uint64_t request_count = options.small ? 4000 : 12000;
+
+  const std::vector<workload_spec> workloads =
+      options.small
+          ? std::vector<workload_spec>{{"uniform", 0.0, false},
+                                       {"zipf-1.1", 1.1, false},
+                                       {"hot-set", 0.0, true}}
+          : std::vector<workload_spec>{{"uniform", 0.0, false},
+                                       {"zipf-0.8", 0.8, false},
+                                       {"zipf-1.1", 1.1, false},
+                                       {"zipf-1.4", 1.4, false},
+                                       {"hot-set", 0.0, true}};
+  const std::vector<backend_kind> kinds =
+      options.small
+          ? std::vector<backend_kind>{backend_kind::partitioned,
+                                      backend_kind::path}
+          : std::vector<backend_kind>(std::begin(all_backend_kinds),
+                                      std::end(all_backend_kinds));
+  constexpr std::uint32_t kShardCounts[] = {1, 4};
+
+  if (!options.json) {
+    std::cout << "=== Ablation: request coalescing x workload skew x "
+                 "backend x shards ("
+              << util::format_count(blocks) << " blocks, "
+              << util::format_count(request_count)
+              << " requests via the service layer, paper HDD profile) "
+                 "===\n";
+  }
+
+  std::string json = "{\n  \"bench\": \"ablation_coalesce\",\n"
+                     "  \"runs\": [\n";
+  bool first_run = true;
+  util::text_table table({"Workload", "Backend", "Shards", "Coalescing",
+                          "Requests", "Physical", "Merged", "IOs/req",
+                          "IO reduction", "Sim total", "Req/s"});
+  for (const workload_spec& spec : workloads) {
+    workload::stream_config wl;
+    wl.request_count = request_count;
+    wl.block_count = blocks;
+    wl.write_fraction = 0.2;
+    wl.payload_bytes = 32;
+    for (const backend_kind kind : kinds) {
+      for (const std::uint32_t shards : kShardCounts) {
+        // Same stream for the off and on runs of a cell: the machines
+        // differ in the coalescing flag only, at the same round cap.
+        util::pcg64 gen(kSeed ^ (spec.hot_set ? 0x5eedULL : 0) ^
+                        static_cast<std::uint64_t>(spec.zipf_s * 1000));
+        const std::vector<request> stream = make_stream(spec, gen, wl);
+        cell_run off;
+        for (const bool coalescing : {false, true}) {
+          const cell_run run =
+              run_cell(stream, kind, shards, coalescing, blocks,
+                       memory_blocks, options.threads);
+          if (!coalescing) {
+            off = run;
+          }
+          // Off rows pay one physical access per logical request by
+          // construction; the reduction column is how much cheaper the
+          // coalescing machine's device bill is at the same cap.
+          const double reduction =
+              run.ios_per_request > 0.0
+                  ? off.ios_per_request / run.ios_per_request
+                  : 0.0;
+          table.add_row(
+              {spec.name, std::string(backend_name(kind)),
+               std::to_string(shards), coalescing ? "on" : "off",
+               util::format_count(run.requests),
+               util::format_count(run.physical),
+               util::format_count(run.merged),
+               util::format_double(run.ios_per_request, 3),
+               util::format_double(reduction, 2) + "x",
+               util::format_time_ns(run.total_time),
+               util::format_count(
+                   static_cast<std::uint64_t>(run.throughput))});
+          if (!first_run) {
+            json += ",\n";
+          }
+          first_run = false;
+          json += "    {\"workload\": " + json_escape(spec.name) +
+                  ", \"backend\": " + json_escape(backend_name(kind)) +
+                  ", \"shards\": " + std::to_string(shards) +
+                  ", \"coalescing\": " +
+                  (coalescing ? std::string("true") : std::string("false")) +
+                  ", \"requests\": " + std::to_string(run.requests) +
+                  ", \"physical_accesses\": " +
+                  std::to_string(run.physical) +
+                  ", \"coalesced_requests\": " + std::to_string(run.merged) +
+                  ", \"ios_per_logical_request\": " +
+                  std::to_string(run.ios_per_request) +
+                  ", \"io_reduction_vs_off\": " + std::to_string(reduction) +
+                  ", \"round_cap\": " + std::to_string(run.round_cap) +
+                  ", \"rounds\": " + std::to_string(run.rounds) +
+                  ", \"sim_total_ns\": " + std::to_string(run.total_time) +
+                  ", \"throughput_rps\": " + std::to_string(run.throughput) +
+                  ", \"wall_seconds\": " + std::to_string(run.wall_seconds) +
+                  "}";
+        }
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream out("BENCH_coalesce.json");
+  out << json;
+  out.close();
+
+  if (options.json) {
+    std::cout << json;
+  } else {
+    table.print(std::cout);
+    std::cout
+        << "Coalescing changes only how many real slots a round "
+           "consumes — both rows of a\ncell run at the same public "
+           "round cap, so IOs/req is the whole story: the\nskewed "
+           "streams retire several logical requests per physical "
+           "access while\nuniform traffic stays near 1.0.\n"
+           "(wrote BENCH_coalesce.json)\n";
+  }
+  return 0;
+}

@@ -82,6 +82,12 @@ class kv_store {
     return std::nullopt;
   }
 
+  /// Head of `key`'s probe chain — the block a flash crowd of readers
+  /// all land on (the hot-key coalescing demo below watches it).
+  [[nodiscard]] oram::block_id head_slot(const std::string& key) const {
+    return slot_of(key, 0);
+  }
+
  private:
   static constexpr std::uint64_t max_probes = 16;
 
@@ -160,5 +166,53 @@ int main() {
   std::printf(
       "every lookup costs one block access — the attacker cannot tell "
       "puts from gets,\nhits from misses, or hot keys from cold ones.\n");
+
+  // --- Hot-key flash crowd: request coalescing -----------------------
+  // A trending key gets hammered by many concurrent clients. With
+  // coalescing(on) the round table merges every same-block read of a
+  // scheduling round into one physical ORAM access and fans the payload
+  // back to all of the waiting tickets — rounds stay padded to the
+  // public cap, so the bus shape (and the obliviousness argument) is
+  // unchanged; only the device bill shrinks.
+  service hot = client_builder()
+                    .blocks(16 * util::mib / util::kib)
+                    .memory_blocks(2 * util::mib / util::kib)
+                    .payload_bytes(256)
+                    .logical_block_bytes(1024)
+                    .coalescing(true)
+                    .seal(true)
+                    .seed(11)
+                    .build_service();
+  kv_store trending_store(hot);
+  trending_store.put("trending", "everyone wants this value");
+  hot.reset_stats();
+
+  constexpr int crowd_size = 32;
+  std::vector<session> crowd;
+  std::vector<ticket> waiting;
+  for (int i = 0; i < crowd_size; ++i) {
+    crowd.push_back(hot.open_session());
+    waiting.push_back(
+        crowd.back().async_read(trending_store.head_slot("trending")));
+  }
+  hot.run_until_idle();
+  for (ticket& t : waiting) {
+    expects(t.ready(), "flash crowd left an unserved ticket");
+  }
+
+  const engine_stats& router = hot.underlying().eng().router_stats();
+  std::printf(
+      "\nhot-key flash crowd: %d clients read the same key "
+      "concurrently\n  physical ORAM accesses: %llu\n  requests "
+      "coalesced:      %llu\n  IOs per logical request: %.3f\n",
+      crowd_size, static_cast<unsigned long long>(router.physical_accesses),
+      static_cast<unsigned long long>(router.coalesced_requests),
+      router.ios_per_logical_request());
+  std::printf(
+      "the crowd cost %llu device access(es) instead of %d — and the "
+      "padded round\nshape means the bus trace looks exactly like any "
+      "other round.\n",
+      static_cast<unsigned long long>(router.physical_accesses),
+      crowd_size);
   return 0;
 }

@@ -96,6 +96,16 @@ struct horam_config {
   /// Seed of the keyed SipHash PRF that routes block ids to shards.
   std::uint64_t route_key_seed = 0x726f757465;  // "route"
 
+  /// Round-scoped request coalescing (src/coalesce/): concurrent
+  /// same-block requests merge into one physical access per round and
+  /// the result fans back out to every waiting completion. Coalescing
+  /// only changes how many *real* slots a round consumes — every shard
+  /// still executes exactly shard_round_cap public slots per round
+  /// (dummy-topped), including single-shard engines, so the bus shape
+  /// stays data-independent whatever the duplicate rate. Off (default)
+  /// is bit-for-bit the non-coalescing machine.
+  bool coalescing = false;
+
   /// How the engine executes its shard lanes (runtime/runtime_policy.h):
   /// the single-threaded discrete-event machine, or one worker thread
   /// per shard. Traces, stats and completion times are identical either

@@ -89,6 +89,10 @@ oram::cost_split controller::service_hit(const request& req,
       cost += tree_->dummy_access();
       cost.cpu += cpu_.word_ops_time(8);
       if (req.op == oram::op_kind::write) {
+        if (req.fetch_before_write && result != nullptr) {
+          result->read_data = *staged;
+          result->read_data.resize(config_.payload_bytes, 0);
+        }
         staged->assign(req.write_data.begin(), req.write_data.end());
         staged->resize(config_.payload_bytes, 0);
       } else if (result != nullptr) {
@@ -105,6 +109,10 @@ oram::cost_split controller::service_hit(const request& req,
     cost += tree_->dummy_access();
     cost.cpu += cpu_.word_ops_time(8);
     if (req.op == oram::op_kind::write) {
+      if (req.fetch_before_write && result != nullptr) {
+        result->read_data = shelter_it->second;
+        result->read_data.resize(config_.payload_bytes, 0);
+      }
       shelter_it->second.assign(req.write_data.begin(),
                                 req.write_data.end());
       shelter_it->second.resize(config_.payload_bytes, 0);
@@ -116,7 +124,25 @@ oram::cost_split controller::service_hit(const request& req,
   }
 
   if (req.op == oram::op_kind::write) {
-    cost += tree_->access(oram::op_kind::write, req.id, req.write_data, {});
+    if (req.fetch_before_write && result != nullptr) {
+      // One path access serves both halves: the updater sees the old
+      // payload in the stash, copies it out, then overwrites in place —
+      // same bus shape and same RNG draws as a plain write.
+      expects(req.write_data.size() <= config_.payload_bytes,
+              "write larger than the block payload");
+      cost += tree_->access_rmw(
+          req.id, [&](std::span<std::uint8_t> payload) {
+            result->read_data.assign(payload.begin(), payload.end());
+            std::fill(payload.begin(), payload.end(), 0);
+            if (!req.write_data.empty()) {
+              std::memcpy(payload.data(), req.write_data.data(),
+                          req.write_data.size());
+            }
+          });
+    } else {
+      cost += tree_->access(oram::op_kind::write, req.id, req.write_data,
+                            {});
+    }
   } else if (result != nullptr) {
     result->read_data.resize(config_.payload_bytes);
     cost += tree_->access(oram::op_kind::read, req.id, {},

@@ -48,6 +48,12 @@ struct request {
   std::uint32_t user = 0;
   /// Payload for writes (empty for reads).
   std::vector<std::uint8_t> write_data;
+  /// Read-modify-write: a write that also returns the block's pre-write
+  /// payload in request_result::read_data. One physical access either
+  /// way — ORAM rewrites the block on every access — so the bus shape
+  /// is unchanged. The coalescer uses this to serve readers that were
+  /// merged ahead of a write in the same round.
+  bool fetch_before_write = false;
 };
 
 /// Per-request outcome (optional output of run()).

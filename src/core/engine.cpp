@@ -150,6 +150,9 @@ engine::engine(const horam_config& config, const sim::cpu_model& cpu,
     shards_.push_back(std::move(state));
   }
   queues_.resize(count);
+  if (config_.coalescing) {
+    queued_counts_.resize(count);
+  }
 
   if (config_.runtime == runtime_policy::threaded && count > 1) {
     // One worker per shard by default; explicit worker_threads clamps
@@ -173,6 +176,10 @@ engine::~engine() = default;
 
 engine::engine(controller& external) : config_(external.config()) {
   config_.shard_count = 1;
+  // The shim owns no device lane (and therefore no pad-id stream), so
+  // it cannot run padded coalescing rounds; it stays the exact
+  // pass-through regardless of the wrapped controller's config.
+  config_.coalescing = false;
   route_key_ = make_route_key(config_.route_key_seed);
   round_cap_ = derive_round_cap();
   auto state = std::make_unique<shard_state>();
@@ -209,19 +216,19 @@ engine::lane_report engine::service_lane(lane_task&& task,
                                          sim::sim_time start) noexcept {
   lane_report report;
   report.shard = task.shard;
-  report.reals = task.reals.size();
+  report.physical = task.groups.size();
+  for (const coalesce::group& g : task.groups) {
+    report.reals += g.members.size();
+  }
   try {
     shard_state& sh = *shards_[task.shard];
-    const std::size_t reals = task.reals.size();
+    const std::size_t physical = task.groups.size();
     std::vector<request> batch;
-    std::vector<std::uint64_t> tags;
     batch.reserve(task.slots);
-    tags.reserve(reals);
-    for (routed& entry : task.reals) {
-      tags.push_back(entry.tag);
-      batch.push_back(std::move(entry.req));
+    for (coalesce::group& g : task.groups) {
+      batch.push_back(std::move(g.physical));
     }
-    for (std::size_t i = reals; i < task.slots; ++i) {
+    for (std::size_t i = physical; i < task.slots; ++i) {
       request pad;
       pad.op = oram::op_kind::read;
       pad.id = util::uniform_below(sh.lane->pad_rng, sh.config.block_count);
@@ -232,23 +239,51 @@ engine::lane_report engine::service_lane(lane_task&& task,
     // hit/miss split of its own padding to keep stats()
     // application-level. The single-shard pass honors the caller's
     // choice exactly.
-    const bool want_results = task.slots > reals || task.want_out;
+    const bool want_results = task.slots > physical || task.want_out;
     const sim::sim_time local_start = sh.ctrl->now();
     std::vector<request_result> results;
     sh.ctrl->run(batch, want_results ? &results : nullptr);
 
     if (want_results) {
-      for (std::size_t i = 0; i < reals && task.want_out; ++i) {
-        completed done;
-        done.tag = tags[i];
-        done.result = std::move(results[i]);
-        // Completion-ordering layer: shard-local sim-time offsets map
-        // onto the global clock at the lane's start.
-        done.result.completion_time =
-            start + (done.result.completion_time - local_start);
-        report.completions.push_back(std::move(done));
+      // Completion-ordering layer: shard-local sim-time offsets map
+      // onto the global clock at the lane's start. Every group's mapped
+      // time is computed before any fan-out: merged members complete at
+      // the round frontier of their pop moment (member::order_hint),
+      // which can be a *later* group's time than their own.
+      std::vector<sim::sim_time> group_times(task.want_out ? physical : 0);
+      sim::sim_time frontier = 0;
+      for (std::size_t i = 0; i < group_times.size(); ++i) {
+        results[i].completion_time =
+            start + (results[i].completion_time - local_start);
+        if (config_.coalescing) {
+          // In-order retirement clamp: the controller can service a
+          // resident hit before an *earlier* miss, so raw batch
+          // completion times are not monotone in batch order. The
+          // order_hint frontier rule needs group times monotone in
+          // group index to keep per-tenant FIFO, so with coalescing on
+          // the completion-ordering layer retires the round's groups in
+          // order (each no earlier than any group ahead of it). Off
+          // keeps the raw historical times bit-for-bit.
+          frontier = std::max(frontier, results[i].completion_time);
+          results[i].completion_time = frontier;
+        }
+        group_times[i] = results[i].completion_time;
       }
-      for (std::size_t i = reals; i < task.slots; ++i) {
+      for (std::size_t i = 0; i < physical && task.want_out; ++i) {
+        // Fan the physical result out to every logical member (one
+        // member per group with coalescing off, exactly the historical
+        // completion stream).
+        coalesce::fan_out(
+            std::move(task.groups[i]), std::move(results[i]), group_times,
+            sh.config.payload_bytes,
+            [&report](std::uint64_t tag, request_result&& result) {
+              completed done;
+              done.tag = tag;
+              done.result = std::move(result);
+              report.completions.push_back(std::move(done));
+            });
+      }
+      for (std::size_t i = physical; i < task.slots; ++i) {
         ++report.pad_requests;
         if (results[i].hit) {
           ++report.pad_hits;
@@ -331,6 +366,8 @@ void engine::merge_report(lane_report&& report, std::vector<completed>* out,
   // Lanes run in parallel: the round lasts its slowest shard.
   longest = std::max(longest, report.elapsed);
   stats_.real_requests += report.reals;
+  stats_.physical_accesses += report.physical;
+  stats_.coalesced_requests += report.reals - report.physical;
   stats_.pad_requests += report.pad_requests;
   stats_.pad_hits += report.pad_hits;
   stats_.pad_misses += report.pad_misses;
@@ -343,37 +380,62 @@ void engine::merge_report(lane_report&& report, std::vector<completed>* out,
 
 std::uint64_t engine::execute_round(std::vector<std::deque<routed>>& queues,
                                     std::vector<completed>* out) {
-  const bool padded = shard_count() > 1;
+  // Coalescing implies padded rounds on every shard count (including
+  // one): merging changes how many real slots a round consumes, and
+  // only a public, constant round shape keeps that invisible.
+  const bool padded = shard_count() > 1 || config_.coalescing;
   const sim::sim_time round_start = now();
   const std::size_t out_base = out != nullptr ? out->size() : 0;
 
   // Phase 1 (coordinator): pop this round's real requests off the
-  // routing queues into per-lane task messages. The queues themselves
-  // never cross a thread boundary.
+  // routing queues into per-lane task messages. The round tables are
+  // built here, before lane fan-out, so neither the queues nor the
+  // tables ever cross a thread boundary.
   std::vector<lane_task> tasks;
   tasks.reserve(shard_count());
   std::uint64_t serviced = 0;
   for (std::uint32_t s = 0; s < shard_count(); ++s) {
-    // Every shard executes the full public cap when sharding is on —
+    // Every shard executes the full public cap when padding is on —
     // real requests first, dummies after — so the per-shard bus shape
-    // carries no information about the routed bucket sizes.
-    const std::size_t reals =
-        padded ? std::min<std::size_t>(round_cap_, queues[s].size())
-               : queues[s].size();
-    const std::size_t slots = padded ? round_cap_ : reals;
+    // carries no information about the routed bucket sizes (or, with
+    // coalescing, about how many requests merged).
+    lane_task task;
+    if (config_.coalescing) {
+      // Prefix coalescing: consume the longest queue prefix whose
+      // distinct block count fits the public cap. Stopping at the
+      // first inadmissible entry (instead of skipping past it) keeps
+      // per-tenant completion order intact.
+      coalesce::round_table table(round_cap_);
+      while (!queues[s].empty() && table.admits(queues[s].front().req.id)) {
+        routed entry = std::move(queues[s].front());
+        queues[s].pop_front();
+        note_popped(s, entry.req.id);
+        ++serviced;
+        table.add(entry.tag, std::move(entry.req));
+      }
+      task.groups = table.take();
+    } else {
+      const std::size_t reals =
+          padded ? std::min<std::size_t>(round_cap_, queues[s].size())
+                 : queues[s].size();
+      task.groups.reserve(reals);
+      for (std::size_t i = 0; i < reals; ++i) {
+        routed entry = std::move(queues[s].front());
+        queues[s].pop_front();
+        coalesce::group g;
+        g.physical = std::move(entry.req);
+        g.members.emplace_back().tag = entry.tag;
+        task.groups.push_back(std::move(g));
+      }
+      serviced += reals;
+    }
+    const std::size_t slots = padded ? round_cap_ : task.groups.size();
     if (slots == 0) {
       continue;  // single-shard engine with an empty queue
     }
-    lane_task task;
     task.shard = s;
     task.slots = slots;
     task.want_out = out != nullptr;
-    task.reals.reserve(reals);
-    for (std::size_t i = 0; i < reals; ++i) {
-      task.reals.push_back(std::move(queues[s].front()));
-      queues[s].pop_front();
-    }
-    serviced += reals;
     tasks.push_back(std::move(task));
   }
 
@@ -406,46 +468,69 @@ std::uint64_t engine::execute_round(std::vector<std::deque<routed>>& queues,
 
 std::uint64_t engine::run_buckets(std::vector<std::deque<routed>>& buckets,
                                   std::vector<completed>* out) {
-  const bool padded = shard_count() > 1;
+  const bool padded = shard_count() > 1 || config_.coalescing;
   const sim::sim_time start = now();
+  // note_popped bookkeeping only applies to the engine's own routing
+  // queues (drain); run() hands in local buckets that were never
+  // submitted and carry no slot accounting.
+  const bool own_queues = &buckets == &queues_;
 
   // Open-loop batch execution: the whole bucket is known up front, so
   // every lane runs independently — one controller batch per shard,
   // padded up to a whole number of public-cap rounds — and the batch
   // lasts the slowest lane. (The closed-loop incremental pump uses
-  // execute_round instead: one cap-sized round per step.)
-  std::uint64_t rounds = 0;
-  if (padded) {
-    for (const std::deque<routed>& bucket : buckets) {
-      const std::uint64_t need =
-          (bucket.size() + round_cap_ - 1) / round_cap_;
-      rounds = std::max(rounds, need);
-    }
-    if (rounds == 0) {
-      return 0;
-    }
-  }
-
+  // execute_round instead: one cap-sized round per step.) With
+  // coalescing the table is unbounded: the batch merges across the
+  // whole bucket, then sizes its padding from the distinct-block count.
   std::vector<lane_task> tasks;
   tasks.reserve(shard_count());
   std::uint64_t serviced = 0;
+  std::uint64_t rounds = 0;
   for (std::uint32_t s = 0; s < shard_count(); ++s) {
-    const std::size_t reals = buckets[s].size();
-    const std::size_t slots = padded ? rounds * round_cap_ : reals;
-    if (slots == 0) {
-      continue;  // single-shard engine with an empty bucket
-    }
     lane_task task;
-    task.shard = s;
-    task.slots = slots;
-    task.want_out = out != nullptr;
-    task.reals.reserve(reals);
-    for (std::size_t i = 0; i < reals; ++i) {
-      task.reals.push_back(std::move(buckets[s].front()));
-      buckets[s].pop_front();
+    if (config_.coalescing) {
+      coalesce::round_table table;
+      while (!buckets[s].empty()) {
+        routed entry = std::move(buckets[s].front());
+        buckets[s].pop_front();
+        if (own_queues) {
+          note_popped(s, entry.req.id);
+        }
+        ++serviced;
+        table.add(entry.tag, std::move(entry.req));
+      }
+      task.groups = table.take();
+    } else {
+      task.groups.reserve(buckets[s].size());
+      while (!buckets[s].empty()) {
+        routed entry = std::move(buckets[s].front());
+        buckets[s].pop_front();
+        coalesce::group g;
+        g.physical = std::move(entry.req);
+        g.members.emplace_back().tag = entry.tag;
+        task.groups.push_back(std::move(g));
+        ++serviced;
+      }
     }
-    serviced += reals;
+    if (padded) {
+      const std::uint64_t need =
+          (task.groups.size() + round_cap_ - 1) / round_cap_;
+      rounds = std::max(rounds, need);
+    }
+    task.shard = s;
+    task.want_out = out != nullptr;
     tasks.push_back(std::move(task));
+  }
+  if (padded && rounds == 0) {
+    return 0;
+  }
+  for (auto it = tasks.begin(); it != tasks.end();) {
+    it->slots = padded ? rounds * round_cap_ : it->groups.size();
+    if (it->slots == 0) {
+      it = tasks.erase(it);  // single-shard engine with an empty bucket
+    } else {
+      ++it;
+    }
   }
 
   std::vector<lane_report> reports = run_lanes(std::move(tasks), start);
@@ -467,10 +552,11 @@ void engine::run(std::span<const request> requests,
   for (const request& req : requests) {
     expects(req.id < config_.block_count, "request id out of range");
   }
-  if (shard_count() == 1) {
+  if (shard_count() == 1 && !config_.coalescing) {
     // Exact historical path: one controller, one batch.
     shards_[0]->ctrl->run(requests, results);
     stats_.real_requests += requests.size();
+    stats_.physical_accesses += requests.size();
     return;
   }
   if (results != nullptr) {
@@ -481,8 +567,8 @@ void engine::run(std::span<const request> requests,
     routed entry;
     entry.tag = i;
     entry.req = requests[i];
-    entry.req.id = local_id_of_[requests[i].id];
-    buckets[shard_index_of_[requests[i].id]].push_back(std::move(entry));
+    entry.req.id = shard_local_id(requests[i].id);
+    buckets[shard_of(requests[i].id)].push_back(std::move(entry));
   }
   std::vector<completed> done;
   (void)run_buckets(buckets, results != nullptr ? &done : nullptr);
@@ -501,9 +587,31 @@ std::uint64_t engine::submit(request req) {
   entry.req = std::move(req);
   entry.req.id = shard_local_id(entry.req.id);
   const std::uint64_t token = entry.tag;
+  const oram::block_id local = entry.req.id;
   queues_[s].push_back(std::move(entry));
   ++pending_total_;
+  if (config_.coalescing) {
+    // Slot accounting: a round slot is a *distinct* queued block, not a
+    // queued request — the pump reads pending_slots() so one physical
+    // access retiring many tickets doesn't under-fill rounds.
+    if (queued_counts_[s][local]++ == 0) {
+      ++pending_slots_;
+    }
+  }
   return token;
+}
+
+void engine::note_popped(std::uint32_t s, oram::block_id local) noexcept {
+  if (!config_.coalescing) {
+    return;
+  }
+  const auto it = queued_counts_[s].find(local);
+  invariant(it != queued_counts_[s].end() && it->second > 0,
+            "pop of a block with no queued count");
+  if (--it->second == 0) {
+    queued_counts_[s].erase(it);
+    --pending_slots_;
+  }
 }
 
 bool engine::step_round(const completion& on_complete) {
@@ -567,6 +675,12 @@ const controller_stats& engine::stats() const noexcept {
   total.requests -= std::min(total.requests, stats_.pad_requests);
   total.hits -= std::min(total.hits, stats_.pad_hits);
   total.misses -= std::min(total.misses, stats_.pad_misses);
+  // Coalesced members never reached a controller, but they are real
+  // application requests served from the round table in trusted memory:
+  // add them back as control-layer hits so the counters stay
+  // application-level. Zero with coalescing off.
+  total.requests += stats_.coalesced_requests;
+  total.hits += stats_.coalesced_requests;
   if (shards_.size() > 1) {
     total.total_time = global_now_ - stats_epoch_;
   }

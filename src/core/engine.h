@@ -25,6 +25,15 @@
 // controller: no PRF, no padding, no time mapping — bit-for-bit the
 // historical single-controller behavior (tests assert this).
 //
+// Request coalescing (config.coalescing, src/coalesce/): each round the
+// coordinator folds same-block requests into one physical access per
+// block via a trusted-memory round_table and fans the result back out
+// to every member. Only the *real* slot count changes — rounds are
+// still topped up to the public cap with dummies, now for single-shard
+// engines too, so the bus shape stays data-independent whatever the
+// duplicate rate. Off is bit-for-bit the non-coalescing machine (the
+// pad stream is never drawn on a single shard with coalescing off).
+//
 // Execution runtime: lanes are serviced either by the historical
 // single-threaded machine (runtime_policy::sim) or by per-shard worker
 // threads (runtime_policy::threaded, src/runtime/). Either way a
@@ -46,8 +55,10 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "coalesce/coalescer.h"
 #include "core/config.h"
 #include "core/controller.h"
 #include "crypto/siphash.h"
@@ -74,6 +85,22 @@ struct engine_stats {
   /// lets stats() report application-level hit rates).
   std::uint64_t pad_hits = 0;
   std::uint64_t pad_misses = 0;
+  /// Real (non-dummy) physical ORAM accesses issued — one per
+  /// coalescing group. Equals real_requests with coalescing off.
+  std::uint64_t physical_accesses = 0;
+  /// Logical requests absorbed by the round coalescing table without a
+  /// physical access of their own (real_requests - physical_accesses);
+  /// 0 with coalescing off.
+  std::uint64_t coalesced_requests = 0;
+
+  /// Physical ORAM accesses per logical request — the constant factor
+  /// coalescing attacks (1.0 with coalescing off; lower is better).
+  [[nodiscard]] double ios_per_logical_request() const noexcept {
+    return real_requests == 0
+               ? 0.0
+               : static_cast<double>(physical_accesses) /
+                     static_cast<double>(real_requests);
+  }
 };
 
 class engine {
@@ -173,6 +200,14 @@ class engine {
   [[nodiscard]] std::size_t pending() const noexcept {
     return pending_total_;
   }
+  /// Physical round slots the current queue will consume: distinct
+  /// queued blocks per shard under coalescing, else pending(). The pump
+  /// layer (tenant_scheduler) fills rounds against this — one access
+  /// retiring many tickets must not count as many slots, or the pump
+  /// would under-fill every round exactly when coalescing is winning.
+  [[nodiscard]] std::size_t pending_slots() const noexcept {
+    return config_.coalescing ? pending_slots_ : pending_total_;
+  }
   /// Executes one engine round: every shard with work runs round_cap()
   /// request slots (all queued ones when shard_count == 1), lanes in
   /// parallel, completions delivered in global completion order.
@@ -254,12 +289,15 @@ class engine {
 
   /// Routed-requests-in message: everything one lane execution needs,
   /// popped off the coordinator's queues so the queues themselves never
-  /// cross a thread boundary.
+  /// cross a thread boundary. The coalescing table is built by the
+  /// coordinator *before* fan-out — each lane receives its finished
+  /// groups, so nothing round-scoped is ever shared across threads.
   struct lane_task {
     std::uint32_t shard = 0;
-    /// Real requests to service (already shard-local); dummy-topped up
-    /// to `slots` inside the lane.
-    std::vector<routed> reals;
+    /// Physical accesses to issue (ids already shard-local), each with
+    /// the logical members it retires; dummy-topped up to `slots`
+    /// inside the lane. Coalescing off = singleton groups.
+    std::vector<coalesce::group> groups;
     std::size_t slots = 0;
     /// Whether the caller wants real-request completions back.
     bool want_out = false;
@@ -273,7 +311,10 @@ class engine {
     std::size_t slot = 0;
     std::uint32_t shard = 0;
     sim::sim_time elapsed = 0;
+    /// Logical requests retired (group members).
     std::uint64_t reals = 0;
+    /// Real physical accesses issued (groups; == reals when off).
+    std::uint64_t physical = 0;
     std::uint64_t pad_requests = 0;
     std::uint64_t pad_hits = 0;
     std::uint64_t pad_misses = 0;
@@ -314,6 +355,9 @@ class engine {
   /// Appends `rounds` uniform cap-per-shard entries to the bounded
   /// round log.
   void log_rounds(std::uint64_t rounds);
+  /// Incremental-queue slot accounting: one submitted entry of `local`
+  /// on shard `s` was popped into a round (coalescing only).
+  void note_popped(std::uint32_t s, oram::block_id local) noexcept;
 
   horam_config config_;
   crypto::siphash_key route_key_{};
@@ -333,6 +377,11 @@ class engine {
   std::vector<std::deque<routed>> queues_;
   std::size_t pending_total_ = 0;
   std::uint64_t next_token_ = 1;
+  /// Queued entries per (shard, shard-local block) — the distinct-block
+  /// view behind pending_slots() (maintained only under coalescing).
+  std::vector<std::unordered_map<oram::block_id, std::uint32_t>>
+      queued_counts_;
+  std::size_t pending_slots_ = 0;
 
   engine_stats stats_;
   std::deque<std::vector<std::uint32_t>> round_log_;

@@ -85,10 +85,13 @@ bool tenant_scheduler::step(const completion& on_complete) {
   // slower than the pops arrive, and without this cap the in-engine
   // queue would grow without bound while the per-tenant admission
   // limits (which guard the *admission* queues) never fire.
+  // The backlog is measured in round *slots* (distinct queued blocks
+  // under coalescing, queued requests otherwise) and re-read per pick:
+  // merged requests consume no new slot, so a hot-block burst keeps
+  // admitting until the round's physical capacity is genuinely spoken
+  // for. With coalescing off pending_slots() == pending() and the loop
+  // is exactly the historical available = budget - backlog pop count.
   const std::uint64_t budget = engine_.round_budget();
-  const std::uint64_t backlog = engine_.pending();
-  const std::uint64_t available = backlog >= budget ? 0 : budget - backlog;
-  std::uint64_t handed = 0;
 
   // Build the policy's view once per round and maintain it in place:
   // only the picked lane's fields change between picks, so a round is
@@ -102,7 +105,7 @@ bool tenant_scheduler::step(const completion& on_complete) {
                                   lanes_[tenant].serviced});
     }
   }
-  while (handed < available && !views.empty()) {
+  while (engine_.pending_slots() < budget && !views.empty()) {
     const std::size_t choice = policy_->pick(views);
     invariant(choice < views.size(), "fairness policy picked no lane");
     lane& source = lanes_[views[choice].tenant];
@@ -117,7 +120,6 @@ bool tenant_scheduler::step(const completion& on_complete) {
     const std::uint64_t token = engine_.submit(std::move(entry.req));
     inflight_.emplace(token, inflight_meta{views[choice].tenant,
                                            entry.seq, entry.submitted});
-    ++handed;
     if (--views[choice].queued == 0) {
       views.erase(views.begin() + static_cast<std::ptrdiff_t>(choice));
     } else {

@@ -346,6 +346,24 @@ client_builder& client_builder::runtime(std::string_view name) {
   return *this;
 }
 
+client_builder& client_builder::coalescing(bool enabled) {
+  config_.coalescing = enabled;
+  return *this;
+}
+
+client_builder& client_builder::coalescing(std::string_view name) {
+  if (name == "on" || name == "true") {
+    config_.coalescing = true;
+  } else if (name == "off" || name == "false") {
+    config_.coalescing = false;
+  } else {
+    expects(false,
+            "client_builder: coalescing() got an unknown name "
+            "(on | off | true | false)");
+  }
+  return *this;
+}
+
 client_builder& client_builder::threads(std::uint32_t n) {
   expects(n >= 1,
           "client_builder: threads() must be at least 1 — select "

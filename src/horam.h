@@ -47,6 +47,15 @@
 // stats and completion times stay bit-for-bit identical to the
 // single-threaded machine — only wall-clock time changes.
 //
+// coalescing(on) adds the round-scoped request-coalescing table
+// (src/coalesce/): same-block requests of one engine round — across
+// sessions and tenants — merge into a single physical ORAM access and
+// the result fans back out to every waiting ticket. Rounds stay padded
+// to the public cap, so the bus shape is unchanged by construction;
+// skewed workloads simply retire more logical requests per physical
+// access. coalescing(off) — the default — is bit-for-bit the
+// non-coalescing machine.
+//
 // Layering (Figure 4-1 of the paper, plus the service and engine
 // layers):
 //
@@ -56,6 +65,9 @@
 //                           └─► engine — oblivious batch-router:
 //                                 │       PRF routing, padded rounds,
 //                                 │       completion ordering
+//                                 │   └─ coalescer — round-scoped
+//                                 │        dedup / fan-out table
+//                                 │        (trusted memory, trace-free)
 //                                 ├─► controller shard 0 ─┐ cache tree,
 //                                 ├─► controller shard 1 ─┤ ROB, secure
 //                                 └─► ...                 ┘ scheduler
@@ -292,6 +304,20 @@ class client_builder {
   /// Runtime by name (see runtime_policy_names()), for configs and
   /// CLIs; throws contract_error naming this setter on unknown names.
   client_builder& runtime(std::string_view name);
+  /// Round-scoped request coalescing (src/coalesce/): merge same-block
+  /// requests of one engine round into a single physical access and fan
+  /// the result back to every waiting ticket. Default off, which is
+  /// bit-for-bit the non-coalescing machine; on implies padded rounds
+  /// on every shard count so the bus shape stays data-independent.
+  client_builder& coalescing(bool enabled);
+  /// Coalescing by name ("on" | "off" | "true" | "false"), for configs
+  /// and CLIs; throws contract_error naming this setter otherwise. The
+  /// const char* overload exists so string literals pick this parse
+  /// instead of decaying pointer-to-bool into coalescing(true).
+  client_builder& coalescing(std::string_view name);
+  client_builder& coalescing(const char* name) {
+    return coalescing(std::string_view(name));
+  }
   /// Shorthand for the threaded runtime with `n` worker threads
   /// (n >= 1; clamped to the shard count at engine construction, since
   /// a shard is confined to exactly one thread).

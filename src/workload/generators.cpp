@@ -147,6 +147,70 @@ std::vector<request> zipf(util::random_source& rng,
   return stream;
 }
 
+std::vector<request> zipfian(util::random_source& rng,
+                             const stream_config& config, double s) {
+  validate(config);
+  expects(s > 0.0, "zipfian exponent must be positive");
+  expects(config.block_count <= (1ULL << 24),
+          "zipfian materialises the CDF — use zipf() for huge spaces");
+
+  // Exact inverse-CDF sampling: cumulative 1 / r^s table, binary
+  // search per draw. O(block_count) memory, O(log block_count) per
+  // request — fine for the bench/test address spaces this feeds.
+  std::vector<double> cdf(config.block_count);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < config.block_count; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = sum;
+  }
+
+  std::vector<std::uint64_t> relabel =
+      util::random_permutation(rng, config.block_count);
+
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  for (std::uint64_t seq = 0; seq < config.request_count; ++seq) {
+    const double u = util::uniform_unit(rng) * sum;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<std::uint64_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     config.block_count - 1)));
+    stream.push_back(make_request(rng, config, relabel[rank], seq));
+  }
+  return stream;
+}
+
+std::vector<request> hot_set(util::random_source& rng,
+                             const stream_config& config,
+                             double hot_probability,
+                             std::uint64_t hot_block_count) {
+  validate(config);
+  expects(hot_probability >= 0.0 && hot_probability <= 1.0,
+          "hot probability must be a probability");
+  expects(hot_block_count > 0 && hot_block_count <= config.block_count,
+          "hot set must be a nonempty subset of the space");
+
+  // The hot blocks are a random scattered subset: the prefix of a
+  // random permutation.
+  std::vector<std::uint64_t> scatter =
+      util::random_permutation(rng, config.block_count);
+  scatter.resize(hot_block_count);
+
+  std::vector<request> stream;
+  stream.reserve(config.request_count);
+  for (std::uint64_t seq = 0; seq < config.request_count; ++seq) {
+    std::uint64_t id = 0;
+    if (util::bernoulli(rng, hot_probability)) {
+      id = scatter[util::uniform_below(rng, hot_block_count)];
+    } else {
+      id = util::uniform_below(rng, config.block_count);
+    }
+    stream.push_back(make_request(rng, config, id, seq));
+  }
+  return stream;
+}
+
 std::vector<request> sequential(const stream_config& config,
                                 std::uint64_t stride) {
   validate(config);

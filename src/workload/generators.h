@@ -47,6 +47,25 @@ std::vector<request> uniform(util::random_source& rng,
 std::vector<request> zipf(util::random_source& rng,
                           const stream_config& config, double theta = 0.99);
 
+/// Zipf-distributed stream for any exponent `s` > 0 (P(rank r) is
+/// proportional to 1 / r^s — s > 1 included, which zipf()'s Gray
+/// approximation cannot express), drawn from the exact CDF via a
+/// precomputed table and binary search. Popular ranks are scattered
+/// over a randomly relabelled address space. The coalescing ablations
+/// use s ~ 1.1, the classic web-trace skew.
+std::vector<request> zipfian(util::random_source& rng,
+                             const stream_config& config, double s = 1.1);
+
+/// Hot-set stream: with probability `hot_probability` the request falls
+/// uniformly on one of `hot_block_count` *scattered* hot blocks (a
+/// random subset, not a contiguous region like hotspot()); otherwise it
+/// is uniform over the whole space. Small hot sets at high probability
+/// model the duplicate-heavy streams request coalescing targets.
+std::vector<request> hot_set(util::random_source& rng,
+                             const stream_config& config,
+                             double hot_probability = 0.9,
+                             std::uint64_t hot_block_count = 16);
+
 /// Sequential scan with the given stride (wraps around).
 std::vector<request> sequential(const stream_config& config,
                                 std::uint64_t stride = 1);

@@ -460,16 +460,21 @@ TEST(EngineStats, AggregateExcludesPaddingAndSumsShards) {
 /// every controller_stats field on every shard, the router counters,
 /// the round log and both device lanes.
 TEST(EngineStats, ResetStatsClearsEveryLaneCounter) {
+  for (const bool coalescing : {false, true}) {
   for (const std::uint32_t shards : {1u, 4u}) {
-    client oram = engine_builder(shards, 44).build();
+    client oram = engine_builder(shards, 44).coalescing(coalescing).build();
     util::pcg64 gen(test::seed(45));
     std::vector<request> stream(150);
     for (request& req : stream) {
       req.op = oram::op_kind::read;
-      req.id = util::uniform_below(gen, kBlocks);
+      // Duplicates ensure the coalescer counters go nonzero when on.
+      req.id = util::uniform_below(gen, kBlocks / 8);
     }
     oram.run(stream);
     ASSERT_GT(oram.stats().requests, 0u);
+    if (coalescing) {
+      ASSERT_GT(oram.eng().router_stats().coalesced_requests, 0u);
+    }
 
     oram.reset_stats();
 
@@ -503,12 +508,15 @@ TEST(EngineStats, ResetStatsClearsEveryLaneCounter) {
     }
     EXPECT_EQ(oram.eng().router_stats().rounds, 0u);
     EXPECT_EQ(oram.eng().router_stats().pad_requests, 0u);
+    EXPECT_EQ(oram.eng().router_stats().physical_accesses, 0u);
+    EXPECT_EQ(oram.eng().router_stats().coalesced_requests, 0u);
     EXPECT_TRUE(oram.eng().round_log().empty());
 
     // The next window measures fresh traffic from the reset epoch.
     oram.run(stream);
     EXPECT_EQ(oram.stats().requests, stream.size());
     EXPECT_GT(oram.stats().total_time, 0);
+  }
   }
 }
 
