@@ -220,13 +220,13 @@ int main(int argc, char** argv) {
                   std::to_string(run.physical) +
                   ", \"coalesced_requests\": " + std::to_string(run.merged) +
                   ", \"ios_per_logical_request\": " +
-                  std::to_string(run.ios_per_request) +
-                  ", \"io_reduction_vs_off\": " + std::to_string(reduction) +
+                  json_number(run.ios_per_request) +
+                  ", \"io_reduction_vs_off\": " + json_number(reduction) +
                   ", \"round_cap\": " + std::to_string(run.round_cap) +
                   ", \"rounds\": " + std::to_string(run.rounds) +
                   ", \"sim_total_ns\": " + std::to_string(run.total_time) +
-                  ", \"throughput_rps\": " + std::to_string(run.throughput) +
-                  ", \"wall_seconds\": " + std::to_string(run.wall_seconds) +
+                  ", \"throughput_rps\": " + json_number(run.throughput) +
+                  ", \"wall_seconds\": " + json_number(run.wall_seconds) +
                   "}";
         }
       }

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
               json_escape(backend_name(kind)) +
               ", \"shards\": " + std::to_string(shards) +
               ", \"speedup_vs_1_shard\": " +
-              std::to_string(speedup) + ", " + json_fields(run) + "}";
+              json_number(speedup) + ", " + json_fields(run) + "}";
     }
   }
   json += "\n  ]\n}\n";

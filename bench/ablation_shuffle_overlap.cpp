@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
             ", \"shards\": " + std::to_string(shards) +
             ", \"policy\": " + json_escape(shuffle_policy_name(policy)) +
             ", \"slice_budget_ns\": " + std::to_string(budget) +
-            ", \"p99_vs_foreground\": " + std::to_string(p99_ratio) +
+            ", \"p99_vs_foreground\": " + json_number(p99_ratio) +
             ", " + json_fields(run) + "}";
   };
 

@@ -124,8 +124,7 @@ int main(int argc, char** argv) {
                 ", \"shards\": " + std::to_string(shards) +
                 ", \"requested_threads\": " + std::to_string(threads) +
                 ", \"wall_speedup_vs_1_thread\": " +
-                std::to_string(wall_speedup) + ", " + json_fields(run) +
-                "}";
+                json_number(wall_speedup) + ", " + json_fields(run) + "}";
       }
     }
   }

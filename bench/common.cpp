@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -101,6 +102,15 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
 std::string json_fields(const system_run& run) {
   std::ostringstream out;
   const double throughput =
@@ -110,16 +120,18 @@ std::string json_fields(const system_run& run) {
   out << "\"name\": " << json_escape(run.name)
       << ", \"requests\": " << run.requests
       << ", \"io_accesses\": " << run.io_accesses
-      << ", \"avg_io_latency_us\": " << run.avg_io_latency_us
+      << ", \"avg_io_latency_us\": " << json_number(run.avg_io_latency_us)
       << ", \"shuffle_time_ns\": " << run.shuffle_time
       << ", \"shuffle_count\": " << run.shuffle_count
       << ", \"total_time_ns\": " << run.total_time
       << ", \"io_busy_ns\": " << run.io_busy
-      << ", \"throughput_rps\": " << throughput
-      << ", \"hit_rate\": " << run.hit_rate
-      << ", \"avg_c\": " << run.avg_c
+      << ", \"throughput_rps\": " << json_number(throughput)
+      << ", \"hit_rate\": " << json_number(run.hit_rate)
+      << ", \"avg_c\": " << json_number(run.avg_c)
       << ", \"storage_bytes\": " << run.storage_bytes
-      << ", \"host_seconds\": " << run.host_seconds
+      << ", \"device_read_ops\": " << run.device_read_ops
+      << ", \"device_write_ops\": " << run.device_write_ops
+      << ", \"host_seconds\": " << json_number(run.host_seconds)
       << ", \"latency_p50_ns\": " << run.latency_p50
       << ", \"latency_p95_ns\": " << run.latency_p95
       << ", \"latency_p99_ns\": " << run.latency_p99
@@ -128,7 +140,7 @@ std::string json_fields(const system_run& run) {
       << ", \"shuffle_stall_ns\": " << run.shuffle_stall_time
       << ", \"runtime\": " << json_escape(run.runtime)
       << ", \"threads\": " << run.threads
-      << ", \"wall_seconds\": " << run.wall_seconds;
+      << ", \"wall_seconds\": " << json_number(run.wall_seconds);
   return out.str();
 }
 
@@ -184,6 +196,9 @@ system_run run_horam(
   run.storage_bytes = 0;
   for (std::uint32_t s = 0; s < ctrl.eng().shard_count(); ++s) {
     run.storage_bytes += ctrl.eng().shard(s).backend().physical_bytes();
+    const sim::io_stats& device = ctrl.eng().shard_storage(s).stats();
+    run.device_read_ops += device.read_ops;
+    run.device_write_ops += device.write_ops;
   }
   run.latency_p50 = stats.request_latency.p50();
   run.latency_p95 = stats.request_latency.p95();
@@ -258,6 +273,8 @@ system_run run_tree_top_path(const dataset& data,
   // Physical tree footprint: all buckets at the logical block size.
   run.storage_bytes = (2 * config.leaf_count - 1) * config.bucket_size *
                       data.block_bytes;
+  run.device_read_ops = storage_device.stats().read_ops;
+  run.device_write_ops = storage_device.stats().write_ops;
   run.wall_seconds = seconds_since(stream_start);
   run.host_seconds = seconds_since(start);
   return run;

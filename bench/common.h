@@ -59,6 +59,11 @@ struct system_run {
   /// machine construction, unlike host_seconds) — the wall-clock
   /// number the threaded runtime moves while total_time stays put.
   double wall_seconds = 0.0;
+  /// Storage-device operations issued during the stream, summed over
+  /// shard lanes — what the page layout reduces (one op per path
+  /// segment instead of one per bucket).
+  std::uint64_t device_read_ops = 0;
+  std::uint64_t device_write_ops = 0;
 };
 
 /// Workload recipe shared by both systems (§5.2.1): hotspot stream with
@@ -127,6 +132,11 @@ bench_options parse_bench_args(int argc, char** argv);
 
 /// JSON string literal with escaping.
 std::string json_escape(std::string_view text);
+
+/// A double as a JSON value: finite values print as-is, inf/nan become
+/// `null` — std::to_string(inf) would emit "inf", which no JSON parser
+/// accepts. Every double a bench emits must go through this.
+std::string json_number(double value);
 
 /// The run's metrics as JSON object *fields* (no braces), so callers
 /// can prepend their own keys: `{"backend": "...", <json_fields(run)>}`.

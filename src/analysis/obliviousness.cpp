@@ -48,6 +48,20 @@ std::vector<std::uint64_t> path_access_leaves(
   return leaves;
 }
 
+std::vector<std::uint64_t> storage_sweep_positions(
+    const oram::access_trace& trace, oram::event_kind kind) {
+  expects(kind == oram::event_kind::storage_read_sweep ||
+              kind == oram::event_kind::storage_write_sweep,
+          "storage_sweep_positions takes a sweep event kind");
+  std::vector<std::uint64_t> positions;
+  for (const oram::trace_event& event : trace.events()) {
+    if (event.kind == kind) {
+      positions.push_back(event.a);
+    }
+  }
+  return positions;
+}
+
 std::vector<std::uint64_t> fold_histogram(
     std::span<const std::uint64_t> samples, std::uint64_t universe,
     std::size_t cells) {

@@ -55,6 +55,15 @@ std::vector<std::uint64_t> storage_read_positions(
 std::vector<std::uint64_t> path_access_leaves(
     const oram::access_trace& trace, std::uint64_t leaf_universe = 0);
 
+/// First-slot positions of storage sweep events, in order. The
+/// bus-visible position stream of the page layout (and of shuffle
+/// sweeps): each segment read/write surfaces as one sweep whose first
+/// slot is a pure function of (group, leaf), so uniform leaf draws
+/// induce a fixed sweep-position distribution regardless of workload.
+/// `kind` must be storage_read_sweep or storage_write_sweep.
+std::vector<std::uint64_t> storage_sweep_positions(
+    const oram::access_trace& trace, oram::event_kind kind);
+
 // ------------------------------------------------------- primitives
 
 /// Folds samples over [0, universe) into `cells` equal-width counts.

@@ -7,6 +7,7 @@
 
 #include "runtime/runtime_policy.h"
 #include "sim/time.h"
+#include "storage/page_layout.h"
 #include "util/contracts.h"
 #include "util/math.h"
 
@@ -127,6 +128,19 @@ struct horam_config {
   /// flat 8-bytes-per-block map.
   std::uint64_t map_direct_threshold = 1024;
 
+  /// Device-side layout of the tree-resident storage lane
+  /// (storage/page_layout.h). `flat` (default) is bit-for-bit the
+  /// historical one-op-per-bucket machine; `page` packs page-sized
+  /// subtree segments so a path costs one transfer per segment, with
+  /// valid-bit skipping of never-written segments. The partitioned
+  /// backend's storage lane is point-access by design, so the knob is
+  /// neutral there.
+  storage::storage_layout layout = storage::storage_layout::flat;
+  /// Target device page size (bytes) for storage_layout::page; sets the
+  /// subtree-segment height. Public information by design: the segment
+  /// geometry depends only on the configuration, never on the workload.
+  std::uint64_t page_bytes = 16384;
+
   /// Real sealing (tests) vs plaintext records with modelled crypto
   /// time (large benches).
   bool seal = true;
@@ -166,6 +180,7 @@ struct horam_config {
             "map recursion needs at least two entries per block");
     expects(map_direct_threshold >= 1,
             "map direct threshold must be positive");
+    expects(page_bytes > 0, "page_bytes must be positive");
   }
 };
 

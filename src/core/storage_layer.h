@@ -22,6 +22,13 @@
 // each period; the others receive a fixed-size append segment, and
 // misses to a partition with s pending segments issue s extra masking
 // reads ("the less we shuffle, the more redundant accesses").
+//
+// config.layout (storage/page_layout.h) is neutral here by design: the
+// scheme's foreground accesses are single-slot draws from a random
+// permutation — there is no path to pack into a page — and its shuffle
+// already streams whole partitions as maximal sequential sweeps, which
+// is exactly what the page layout would degenerate to. The knob only
+// changes the tree-resident lane of the path backend.
 #ifndef HORAM_CORE_STORAGE_LAYER_H
 #define HORAM_CORE_STORAGE_LAYER_H
 

@@ -77,6 +77,26 @@ std::optional<runtime_policy> parse_runtime_policy_name(
   return std::nullopt;
 }
 
+/// The one canonical storage-layout name list; index-aligned with
+/// all_storage_layouts.
+constexpr std::string_view kStorageLayoutNames[] = {"flat", "page"};
+static_assert(std::size(kStorageLayoutNames) ==
+                  std::size(all_storage_layouts),
+              "storage-layout name list out of sync with "
+              "all_storage_layouts");
+
+/// Name-parse shared by storage_layout_by_name and the builder's named
+/// setter; nullopt on unknown names.
+std::optional<storage::storage_layout> parse_storage_layout_name(
+    std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kStorageLayoutNames); ++i) {
+    if (name == kStorageLayoutNames[i]) {
+      return all_storage_layouts[i];
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view backend_name(backend_kind kind) {
@@ -130,6 +150,24 @@ runtime_policy runtime_policy_by_name(std::string_view name) {
   expects(policy.has_value(),
           "unknown runtime-policy name (sim | threaded)");
   return *policy;
+}
+
+std::string_view storage_layout_name(storage::storage_layout layout) {
+  const auto index = static_cast<std::size_t>(layout);
+  expects(index < std::size(kStorageLayoutNames), "unknown storage layout");
+  return kStorageLayoutNames[index];
+}
+
+std::span<const std::string_view> storage_layout_names() {
+  return kStorageLayoutNames;
+}
+
+storage::storage_layout storage_layout_by_name(std::string_view name) {
+  const std::optional<storage::storage_layout> layout =
+      parse_storage_layout_name(name);
+  expects(layout.has_value(),
+          "unknown storage-layout name (flat | page)");
+  return *layout;
 }
 
 sim::device_profile storage_profile_by_name(std::string_view name) {
@@ -361,6 +399,26 @@ client_builder& client_builder::coalescing(std::string_view name) {
             "client_builder: coalescing() got an unknown name "
             "(on | off | true | false)");
   }
+  return *this;
+}
+
+client_builder& client_builder::layout(storage::storage_layout layout) {
+  config_.layout = layout;
+  return *this;
+}
+
+client_builder& client_builder::layout(std::string_view name) {
+  const std::optional<storage::storage_layout> layout =
+      parse_storage_layout_name(name);
+  expects(layout.has_value(),
+          "client_builder: layout() got an unknown name (flat | page)");
+  config_.layout = *layout;
+  return *this;
+}
+
+client_builder& client_builder::page_bytes(std::uint64_t bytes) {
+  expects(bytes > 0, "client_builder: page_bytes() must be positive");
+  config_.page_bytes = bytes;
   return *this;
 }
 

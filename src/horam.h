@@ -167,6 +167,25 @@ inline constexpr shuffle_policy all_shuffle_policies[] = {
 /// names.
 [[nodiscard]] runtime_policy runtime_policy_by_name(std::string_view name);
 
+/// Every storage layout, in presentation order (comparison tables,
+/// parameterised tests).
+inline constexpr storage::storage_layout all_storage_layouts[] = {
+    storage::storage_layout::flat, storage::storage_layout::page};
+
+/// Human-readable storage-layout name ("flat" / "page").
+[[nodiscard]] std::string_view storage_layout_name(
+    storage::storage_layout layout);
+
+/// The canonical storage-layout names, index-aligned with
+/// all_storage_layouts — the single list name parsing, CLIs, benches
+/// and tests share.
+[[nodiscard]] std::span<const std::string_view> storage_layout_names();
+
+/// Parses a storage-layout name; throws contract_error on unknown
+/// names.
+[[nodiscard]] storage::storage_layout storage_layout_by_name(
+    std::string_view name);
+
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
 /// "ssd", "nvme". Throws contract_error on unknown names.
 [[nodiscard]] sim::device_profile storage_profile_by_name(
@@ -322,6 +341,19 @@ class client_builder {
   /// (n >= 1; clamped to the shard count at engine construction, since
   /// a shard is confined to exactly one thread).
   client_builder& threads(std::uint32_t n);
+  /// Device-side layout of the tree-resident storage lane (default:
+  /// flat, bit-for-bit the historical machine). `page` packs page-sized
+  /// subtree segments so a path costs one transfer per segment, with
+  /// valid-bit skipping of never-written segments
+  /// (storage/page_layout.h). Neutral for the partitioned backend,
+  /// whose storage lane is point-access by design.
+  client_builder& layout(storage::storage_layout layout);
+  /// Layout by name (see storage_layout_names()), for configs and
+  /// CLIs; throws contract_error naming this setter on unknown names.
+  client_builder& layout(std::string_view name);
+  /// Target device page size (bytes) for layout(page); sets the
+  /// subtree-segment height (default 16 KiB).
+  client_builder& page_bytes(std::uint64_t bytes);
   /// Storage device behind the backend (default: paper-calibrated HDD).
   client_builder& storage_profile(const sim::device_profile& profile);
   client_builder& storage_profile(std::string_view name);

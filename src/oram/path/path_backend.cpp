@@ -48,6 +48,8 @@ path_backend::path_backend(
   tree_config.memory_levels = 0;
   tree_config.seal = config_.seal;
   tree_config.key_seed = config_.key_seed ^ 0x5061;  // "Pa"
+  tree_config.layout = config_.layout;
+  tree_config.page_bytes = config_.page_bytes;
   tree_ = std::make_unique<path_oram>(tree_config, device, &device, cpu_,
                                       rng_, trace_);
   expects(tree_->capacity_blocks() >= config_.block_count,

@@ -55,10 +55,29 @@ path_oram::path_oram(const path_oram_config& config,
     io_store_ = std::make_unique<storage::block_store>(
         *io_device, /*base_offset=*/0, io_buckets * config.bucket_size,
         codec_.record_bytes(), logical);
+    if (config.layout == storage::storage_layout::page) {
+      storage::page_layout_config page_config;
+      page_config.total_levels = level_count_;
+      page_config.first_level = memory_levels_;
+      page_config.bucket_size = config.bucket_size;
+      page_config.logical_block_bytes = logical;
+      page_config.page_bytes = config.page_bytes;
+      page_ = std::make_unique<storage::page_layout>(page_config);
+      invariant(page_->total_slots() == io_store_->slot_count(),
+                "page layout does not cover the storage lane exactly");
+      valid_ = std::make_unique<storage::valid_bit_tree>(io_buckets);
+      segment_buffers_.resize(page_->group_count());
+      for (std::uint32_t g = 0; g < page_->group_count(); ++g) {
+        segment_buffers_[g].resize(page_->segment_records(g) *
+                                   codec_.record_bytes());
+      }
+    }
   }
 
   bucket_scratch_.resize(config.bucket_size * codec_.record_bytes());
   payload_scratch_.resize(config.payload_bytes);
+  path_window_.resize(static_cast<std::size_t>(level_count_) *
+                      config.bucket_size * codec_.record_bytes());
 
   // Start with a physically dummy-filled tree.
   reset();
@@ -80,15 +99,16 @@ bool path_oram::bucket_in_memory(std::uint64_t bucket) const noexcept {
   return bucket < memory_bucket_count_;
 }
 
-cost_split path_oram::read_bucket(std::uint64_t bucket) {
+cost_split path_oram::read_bucket(std::uint64_t bucket,
+                                  std::span<std::uint8_t> out) {
   cost_split cost;
   const std::uint64_t z = config_.bucket_size;
   if (bucket_in_memory(bucket)) {
-    cost.memory += memory_store_->read_range(bucket * z, z, bucket_scratch_);
+    cost.memory += memory_store_->read_range(bucket * z, z, out);
     trace(trace_, event_kind::memory_bucket_read, bucket);
   } else {
     const std::uint64_t io_bucket = bucket - memory_bucket_count_;
-    cost.io += io_store_->read_range(io_bucket * z, z, bucket_scratch_);
+    cost.io += io_store_->read_range(io_bucket * z, z, out);
     trace(trace_, event_kind::storage_read_slot, bucket);
   }
   return cost;
@@ -109,6 +129,136 @@ cost_split path_oram::write_bucket(std::uint64_t bucket,
   return cost;
 }
 
+std::span<std::uint8_t> path_oram::window_bucket(std::uint32_t level) {
+  const std::size_t bucket_bytes =
+      static_cast<std::size_t>(config_.bucket_size) * codec_.record_bytes();
+  return {path_window_.data() + level * bucket_bytes, bucket_bytes};
+}
+
+bool path_oram::segment_valid(storage::segment_ref segment) const {
+  const std::uint32_t top = page_->group_top_level(segment.group);
+  for (std::uint32_t d = 0; d < page_->group_height(segment.group); ++d) {
+    const std::uint32_t level = top + d;
+    for (std::uint64_t j = 0; j < (std::uint64_t{1} << d); ++j) {
+      const std::uint64_t position = (segment.index << d) | j;
+      const std::uint64_t bucket =
+          ((std::uint64_t{1} << level) - 1) + position;
+      if (valid_->test(bucket - memory_bucket_count_)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void path_oram::mark_segment_valid(storage::segment_ref segment) {
+  const std::uint32_t top = page_->group_top_level(segment.group);
+  for (std::uint32_t d = 0; d < page_->group_height(segment.group); ++d) {
+    const std::uint32_t level = top + d;
+    for (std::uint64_t j = 0; j < (std::uint64_t{1} << d); ++j) {
+      const std::uint64_t position = (segment.index << d) | j;
+      const std::uint64_t bucket =
+          ((std::uint64_t{1} << level) - 1) + position;
+      valid_->set(bucket - memory_bucket_count_);
+    }
+  }
+}
+
+cost_split path_oram::load_path(leaf_id leaf) {
+  cost_split cost;
+  const std::uint64_t z = config_.bucket_size;
+  const std::size_t record_bytes = codec_.record_bytes();
+  const std::size_t bucket_bytes = z * record_bytes;
+
+  if (!page_) {
+    for (std::uint32_t level = 0; level < level_count_; ++level) {
+      cost += read_bucket(bucket_on_path(leaf, level), window_bucket(level));
+    }
+    return cost;
+  }
+
+  // Memory levels stay bucket-granular on the memory lane.
+  for (std::uint32_t level = 0; level < memory_levels_; ++level) {
+    cost += read_bucket(bucket_on_path(leaf, level), window_bucket(level));
+  }
+  // Storage levels arrive one segment per group, root side first. A
+  // segment no bucket of which was ever written holds only dummies, so
+  // its device read is skipped and the buffer restored from the host
+  // image — an invariant reset()/initialize_full() maintain. Which
+  // segments a path touches (and which are skipped) depends only on the
+  // leaf and the public write-back history, never on block identities.
+  for (std::uint32_t g = 0; g < page_->group_count(); ++g) {
+    const storage::segment_ref segment = page_->path_segment(g, leaf);
+    const std::uint64_t first = page_->segment_first_slot(segment);
+    const std::uint64_t records = page_->segment_records(g);
+    std::vector<std::uint8_t>& buffer = segment_buffers_[g];
+    if (segment_valid(segment)) {
+      cost.io += io_store_->read_range(first, records, buffer);
+      trace(trace_, event_kind::storage_read_sweep, first, records);
+    } else {
+      for (std::uint64_t r = 0; r < records; ++r) {
+        const std::span<const std::uint8_t> host = io_store_->peek(first + r);
+        std::memcpy(buffer.data() + r * record_bytes, host.data(),
+                    record_bytes);
+      }
+    }
+    const std::uint32_t top = page_->group_top_level(g);
+    for (std::uint32_t d = 0; d < page_->group_height(g); ++d) {
+      const std::uint32_t level = top + d;
+      const std::uint64_t position = leaf >> (level_count_ - 1 - level);
+      const std::uint64_t index =
+          page_->bucket_index_in_segment(level, position);
+      std::memcpy(window_bucket(level).data(),
+                  buffer.data() + index * bucket_bytes, bucket_bytes);
+    }
+  }
+  return cost;
+}
+
+cost_split path_oram::store_path(leaf_id leaf) {
+  cost_split cost;
+  const std::uint64_t z = config_.bucket_size;
+  const std::size_t bucket_bytes = z * codec_.record_bytes();
+
+  if (!page_) {
+    for (std::uint32_t down = 0; down < level_count_; ++down) {
+      const std::uint32_t level = level_count_ - 1 - down;
+      cost += write_bucket(bucket_on_path(leaf, level), window_bucket(level));
+    }
+    return cost;
+  }
+
+  // Leaf-to-root: deepest group's segment first, then up, then the
+  // memory buckets. Path buckets are spliced into the segment buffer
+  // load_path filled; sibling bytes go back unchanged. The write makes
+  // every covered bucket's device image authoritative, so the whole
+  // segment turns valid.
+  for (std::uint32_t up = 0; up < page_->group_count(); ++up) {
+    const std::uint32_t g = page_->group_count() - 1 - up;
+    const storage::segment_ref segment = page_->path_segment(g, leaf);
+    std::vector<std::uint8_t>& buffer = segment_buffers_[g];
+    const std::uint32_t top = page_->group_top_level(g);
+    for (std::uint32_t d = 0; d < page_->group_height(g); ++d) {
+      const std::uint32_t level = top + d;
+      const std::uint64_t position = leaf >> (level_count_ - 1 - level);
+      const std::uint64_t index =
+          page_->bucket_index_in_segment(level, position);
+      std::memcpy(buffer.data() + index * bucket_bytes,
+                  window_bucket(level).data(), bucket_bytes);
+    }
+    const std::uint64_t first = page_->segment_first_slot(segment);
+    const std::uint64_t records = page_->segment_records(g);
+    cost.io += io_store_->write_range(first, records, buffer);
+    trace(trace_, event_kind::storage_write_sweep, first, records);
+    mark_segment_valid(segment);
+  }
+  for (std::uint32_t down = 0; down < memory_levels_; ++down) {
+    const std::uint32_t level = memory_levels_ - 1 - down;
+    cost += write_bucket(bucket_on_path(leaf, level), window_bucket(level));
+  }
+  return cost;
+}
+
 bool path_oram::contains(block_id id) const { return positions_.contains(id); }
 
 cost_split path_oram::path_access(
@@ -123,13 +273,14 @@ cost_split path_oram::path_access(
   const std::uint64_t z = config_.bucket_size;
   const std::size_t record_bytes = codec_.record_bytes();
 
-  // Read the path root-to-leaf, moving every real block into the stash.
+  // Read the path root-to-leaf into the window, then move every real
+  // block into the stash (root-to-leaf decode order).
+  cost += load_path(leaf);
   for (std::uint32_t level = 0; level < level_count_; ++level) {
-    const std::uint64_t bucket = bucket_on_path(leaf, level);
-    cost += read_bucket(bucket);
+    const std::span<const std::uint8_t> bucket = window_bucket(level);
     for (std::uint64_t k = 0; k < z; ++k) {
       const std::span<const std::uint8_t> record(
-          bucket_scratch_.data() + k * record_bytes, record_bytes);
+          bucket.data() + k * record_bytes, record_bytes);
       const block_id id = codec_.decode(record, payload_scratch_);
       if (id == dummy_block_id) {
         continue;
@@ -176,11 +327,13 @@ cost_split path_oram::path_access(
     }
   }
 
-  // Greedy write-back, deepest bucket first.
+  // Greedy write-back, deepest bucket first, composed into the window
+  // and flushed as one store_path (same device order as composing and
+  // writing level by level; under `page`, one transfer per segment).
   std::vector<block_id> selected;
   for (std::uint32_t down = 0; down < level_count_; ++down) {
     const std::uint32_t level = level_count_ - 1 - down;
-    const std::uint64_t bucket = bucket_on_path(leaf, level);
+    const std::span<std::uint8_t> bucket = window_bucket(level);
     selected.clear();
     for (const auto& [id, entry] : stash_) {
       if (paths_share_bucket(entry.leaf, leaf, level)) {
@@ -192,7 +345,7 @@ cost_split path_oram::path_access(
     }
     for (std::uint64_t k = 0; k < z; ++k) {
       const std::span<std::uint8_t> record(
-          bucket_scratch_.data() + k * record_bytes, record_bytes);
+          bucket.data() + k * record_bytes, record_bytes);
       if (k < selected.size()) {
         const stash_entry& entry = stash_.at(selected[k]);
         codec_.encode(selected[k], entry.payload, record);
@@ -203,8 +356,8 @@ cost_split path_oram::path_access(
     for (const block_id id : selected) {
       stash_.erase(id);
     }
-    cost += write_bucket(bucket, bucket_scratch_);
   }
+  cost += store_path(leaf);
 
   // Control-layer cost: decrypt + re-encrypt the full path, plus map and
   // stash bookkeeping.
@@ -327,8 +480,37 @@ cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
   if (memory_store_) {
     sweep(*memory_store_, /*memory_lane=*/true);
   }
-  if (io_store_) {
+  if (io_store_ && !page_) {
     sweep(*io_store_, /*memory_lane=*/false);
+  } else if (io_store_) {
+    // Page layout: stream segment by segment, skipping never-written
+    // segments outright — they hold only dummies, so the scan loses
+    // nothing and the device is spared the transfer. The skip pattern
+    // is the (public) valid-bit occupancy, not a function of block
+    // identities.
+    for (std::uint32_t g = 0; g < page_->group_count(); ++g) {
+      const std::uint64_t records = page_->segment_records(g);
+      chunk.resize(records * record_bytes);
+      for (std::uint64_t s = 0; s < page_->segment_count(g); ++s) {
+        const storage::segment_ref segment{g, s};
+        if (!segment_valid(segment)) {
+          continue;
+        }
+        cost.io += io_store_->read_range(page_->segment_first_slot(segment),
+                                         records, chunk);
+        for (std::uint64_t k = 0; k < records; ++k) {
+          const std::span<const std::uint8_t> record(
+              chunk.data() + k * record_bytes, record_bytes);
+          const block_id id = codec_.decode(record, payload_scratch_);
+          if (id == dummy_block_id) {
+            continue;
+          }
+          out.push_back(evicted_block{
+              id, std::vector<std::uint8_t>(payload_scratch_.begin(),
+                                            payload_scratch_.end())});
+        }
+      }
+    }
   }
 
   // Stash contents are part of the eviction too.
@@ -370,20 +552,34 @@ void path_oram::for_each_resident(
                              std::span<const std::uint8_t>)>& visit)
     const {
   std::vector<std::uint8_t> payload(config_.payload_bytes);
-  const auto scan = [&](const storage::block_store& store) {
-    for (std::uint64_t slot = 0; slot < store.slot_count(); ++slot) {
-      const block_id id = codec_.decode(store.peek(slot), payload);
+  const std::uint64_t z = config_.bucket_size;
+  if (memory_store_) {
+    for (std::uint64_t slot = 0; slot < memory_store_->slot_count(); ++slot) {
+      const block_id id = codec_.decode(memory_store_->peek(slot), payload);
       if (id == dummy_block_id) {
         continue;
       }
       visit(id, positions_.leaf_of(id), payload);
     }
-  };
-  if (memory_store_) {
-    scan(*memory_store_);
   }
   if (io_store_) {
-    scan(*io_store_);
+    // Bucket-major: heap order regardless of the device-side layout
+    // (under flat the slot order coincides with it).
+    for (std::uint64_t bucket = memory_bucket_count_; bucket < bucket_count_;
+         ++bucket) {
+      const unsigned level = util::floor_log2(bucket + 1);
+      const std::uint64_t position = bucket - ((std::uint64_t{1} << level) - 1);
+      const std::uint64_t first =
+          page_ ? page_->bucket_first_slot(level, position)
+                : (bucket - memory_bucket_count_) * z;
+      for (std::uint64_t k = 0; k < z; ++k) {
+        const block_id id = codec_.decode(io_store_->peek(first + k), payload);
+        if (id == dummy_block_id) {
+          continue;
+        }
+        visit(id, positions_.leaf_of(id), payload);
+      }
+    }
   }
   for (const auto& [id, entry] : stash_) {
     visit(id, entry.leaf, entry.payload);
@@ -396,31 +592,50 @@ void path_oram::check_consistency() const {
   std::uint64_t found = 0;
   const std::uint64_t z = config_.bucket_size;
 
-  const auto scan = [&](const storage::block_store& store,
-                        std::uint64_t first_bucket) {
-    for (std::uint64_t slot = 0; slot < store.slot_count(); ++slot) {
-      const block_id id = codec_.decode(store.peek(slot), payload);
-      if (id == dummy_block_id) {
-        continue;
-      }
-      invariant(id < positions_.universe(),
-                "tree holds an out-of-universe block");
-      invariant(positions_.contains(id),
-                "tree holds a block missing from the position map");
-      invariant(seen[id] == 0, "block stored in two tree slots");
-      seen[id] = 1;
-      ++found;
-      const std::uint64_t bucket = first_bucket + slot / z;
-      const unsigned level = util::floor_log2(bucket + 1);
-      invariant(bucket == bucket_on_path(positions_.leaf_of(id), level),
-                "block stored off its position-map path");
+  const auto check_record = [&](std::span<const std::uint8_t> record,
+                                std::uint64_t bucket) {
+    const block_id id = codec_.decode(record, payload);
+    if (id == dummy_block_id) {
+      return;
     }
+    invariant(id < positions_.universe(),
+              "tree holds an out-of-universe block");
+    invariant(positions_.contains(id),
+              "tree holds a block missing from the position map");
+    invariant(seen[id] == 0, "block stored in two tree slots");
+    seen[id] = 1;
+    ++found;
+    const unsigned level = util::floor_log2(bucket + 1);
+    invariant(bucket == bucket_on_path(positions_.leaf_of(id), level),
+              "block stored off its position-map path");
   };
   if (memory_store_) {
-    scan(*memory_store_, 0);
+    for (std::uint64_t slot = 0; slot < memory_store_->slot_count(); ++slot) {
+      check_record(memory_store_->peek(slot), slot / z);
+    }
   }
   if (io_store_) {
-    scan(*io_store_, memory_bucket_count_);
+    for (std::uint64_t bucket = memory_bucket_count_; bucket < bucket_count_;
+         ++bucket) {
+      const unsigned level = util::floor_log2(bucket + 1);
+      const std::uint64_t position = bucket - ((std::uint64_t{1} << level) - 1);
+      const std::uint64_t first =
+          page_ ? page_->bucket_first_slot(level, position)
+                : (bucket - memory_bucket_count_) * z;
+      for (std::uint64_t k = 0; k < z; ++k) {
+        check_record(io_store_->peek(first + k), bucket);
+      }
+      if (page_ && !valid_->test(bucket - memory_bucket_count_)) {
+        // Never-written buckets are skipped on the device; their host
+        // image must therefore still be all-dummy, or a skip would lose
+        // data.
+        for (std::uint64_t k = 0; k < z; ++k) {
+          invariant(codec_.decode(io_store_->peek(first + k), payload) ==
+                        dummy_block_id,
+                    "invalid bucket holds a real block");
+        }
+      }
+    }
   }
 
   for (const auto& [id, entry] : stash_) {
@@ -466,8 +681,22 @@ cost_split path_oram::reset() {
   if (memory_store_) {
     rewrite(*memory_store_, /*memory_lane=*/true);
   }
-  if (io_store_) {
+  if (io_store_ && !page_) {
     rewrite(*io_store_, /*memory_lane=*/false);
+  } else if (io_store_) {
+    // Page layout: clearing the valid bits IS the reinitialisation —
+    // every bucket reads as all-dummy without a single device write (or
+    // the crypto to produce records the device never has to see). The
+    // host image is primed with encoded dummies so skipped reads and
+    // audit peeks stay decodable.
+    const std::size_t record = codec_.record_bytes();
+    codec_.encode_dummy(
+        std::span<std::uint8_t>(bucket_scratch_.data(), record));
+    for (std::uint64_t slot = 0; slot < io_store_->slot_count(); ++slot) {
+      io_store_->prime(
+          slot, std::span<const std::uint8_t>(bucket_scratch_.data(), record));
+    }
+    valid_->clear();
   }
 
   positions_.clear();
@@ -523,6 +752,7 @@ cost_split path_oram::initialize_full(
     codec_.encode_dummy(std::span<std::uint8_t>(
         tree_image.data() + slot * record_bytes, record_bytes));
   }
+  std::vector<std::uint8_t> real_in_bucket(bucket_count_, 0);
 
   const std::function<std::vector<block_id>(std::uint32_t, std::uint64_t)>
       build = [&](std::uint32_t level,
@@ -542,6 +772,9 @@ cost_split path_oram::initialize_full(
     const std::uint64_t bucket =
         ((std::uint64_t{1} << level) - 1) + node_in_level;
     const std::uint64_t take = std::min<std::uint64_t>(z, pending.size());
+    if (take > 0) {
+      real_in_bucket[bucket] = 1;
+    }
     for (std::uint64_t k = 0; k < take; ++k) {
       const block_id id = pending[pending.size() - 1 - k];
       codec_.encode(
@@ -576,7 +809,7 @@ cost_split path_oram::initialize_full(
         std::span<const std::uint8_t>(
             tree_image.data() + first * record_bytes, n * record_bytes));
   }
-  if (io_store_) {
+  if (io_store_ && !page_) {
     const std::uint64_t io_slots = io_store_->slot_count();
     for (std::uint64_t first = 0; first < io_slots;
          first += sweep_chunk_records) {
@@ -587,6 +820,48 @@ cost_split path_oram::initialize_full(
           std::span<const std::uint8_t>(
               tree_image.data() + (memory_slots + first) * record_bytes,
               n * record_bytes));
+    }
+  } else if (io_store_) {
+    // Page layout: only segments holding a real block reach the device;
+    // all-dummy segments are primed host-side and stay invalid, so the
+    // bulk of the initial image is never transferred. Which segments
+    // qualify depends on the uniform leaf draw alone.
+    std::vector<std::uint8_t> segment_bytes;
+    valid_->clear();
+    for (std::uint32_t g = 0; g < page_->group_count(); ++g) {
+      const std::uint64_t records = page_->segment_records(g);
+      segment_bytes.resize(records * record_bytes);
+      const std::uint32_t top = page_->group_top_level(g);
+      for (std::uint64_t s = 0; s < page_->segment_count(g); ++s) {
+        const storage::segment_ref segment{g, s};
+        bool has_real = false;
+        for (std::uint32_t d = 0; d < page_->group_height(g); ++d) {
+          const std::uint32_t level = top + d;
+          for (std::uint64_t j = 0; j < (std::uint64_t{1} << d); ++j) {
+            const std::uint64_t position = (s << d) | j;
+            const std::uint64_t bucket =
+                ((std::uint64_t{1} << level) - 1) + position;
+            has_real = has_real || real_in_bucket[bucket] != 0;
+            const std::uint64_t index =
+                page_->bucket_index_in_segment(level, position);
+            std::memcpy(segment_bytes.data() + index * z * record_bytes,
+                        tree_image.data() + bucket * z * record_bytes,
+                        z * record_bytes);
+          }
+        }
+        const std::uint64_t first = page_->segment_first_slot(segment);
+        if (has_real) {
+          cost.io += io_store_->write_range(first, records, segment_bytes);
+          mark_segment_valid(segment);
+        } else {
+          for (std::uint64_t r = 0; r < records; ++r) {
+            io_store_->prime(
+                r + first,
+                std::span<const std::uint8_t>(
+                    segment_bytes.data() + r * record_bytes, record_bytes));
+          }
+        }
+      }
     }
   }
   cost.cpu += cpu_.crypto_time(bucket_count_ * z, record_bytes);

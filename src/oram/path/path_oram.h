@@ -33,6 +33,7 @@
 #include "sim/cpu_model.h"
 #include "sim/device.h"
 #include "storage/block_store.h"
+#include "storage/page_layout.h"
 #include "util/rng.h"
 
 namespace horam::oram {
@@ -58,6 +59,14 @@ struct path_oram_config {
   /// modelled crypto time is charged either way).
   bool seal = true;
   std::uint64_t key_seed = 0x70617468;  // "path"
+  /// Device-side layout of the storage-resident levels
+  /// (storage/page_layout.h). `flat` = one range op per bucket, heap
+  /// order (the historical machine, bit for bit); `page` = page-sized
+  /// subtree segments, one op per path segment, valid-bit skipping.
+  /// The in-memory levels always use the flat layout.
+  storage::storage_layout layout = storage::storage_layout::flat;
+  /// Target device page size for storage_layout::page.
+  std::uint64_t page_bytes = 16384;
 };
 
 /// Counters of a Path ORAM instance.
@@ -99,6 +108,22 @@ class path_oram {
     return stats_;
   }
   [[nodiscard]] const stash& stash_ref() const noexcept { return stash_; }
+  /// Effective storage layout (`flat` when no level is
+  /// storage-resident, whatever the config asked for).
+  [[nodiscard]] storage::storage_layout layout() const noexcept {
+    return page_ ? storage::storage_layout::page
+                 : storage::storage_layout::flat;
+  }
+  /// Segment geometry under storage_layout::page (null otherwise).
+  [[nodiscard]] const storage::page_layout* page_geometry() const noexcept {
+    return page_.get();
+  }
+  /// Storage buckets marked valid (written since the last reset) under
+  /// storage_layout::page; 0 under flat. Audits assert this occupancy
+  /// is workload-independent.
+  [[nodiscard]] std::uint64_t valid_bucket_count() const noexcept {
+    return valid_ ? valid_->valid_count() : 0;
+  }
 
   /// True iff the block currently lives in this tree (or its stash).
   [[nodiscard]] bool contains(block_id id) const;
@@ -195,10 +220,27 @@ class path_oram {
                                         std::uint32_t level) const;
 
   [[nodiscard]] bool bucket_in_memory(std::uint64_t bucket) const noexcept;
-  /// Reads bucket records into scratch_; returns cost on the right lane.
-  cost_split read_bucket(std::uint64_t bucket);
+  /// Reads bucket records into `out`; returns cost on the right lane.
+  cost_split read_bucket(std::uint64_t bucket, std::span<std::uint8_t> out);
   cost_split write_bucket(std::uint64_t bucket,
                           std::span<const std::uint8_t> records);
+
+  /// The path window: level `level`'s bucket records of the access in
+  /// flight (level_count_ buckets of Z records each).
+  [[nodiscard]] std::span<std::uint8_t> window_bucket(std::uint32_t level);
+  /// Fills the path window for the path to `leaf` (device reads; under
+  /// `page`, one transfer per segment with valid-bit skipping).
+  cost_split load_path(leaf_id leaf);
+  /// Writes the path window back along the path to `leaf`, leaf to
+  /// root (under `page`, sibling bytes of each segment are rewritten
+  /// unchanged from the buffer load_path filled).
+  cost_split store_path(leaf_id leaf);
+
+  /// True iff any bucket of the segment has been written since reset.
+  [[nodiscard]] bool segment_valid(storage::segment_ref segment) const;
+  /// Marks every bucket the segment covers valid (a segment write
+  /// rewrites them all).
+  void mark_segment_valid(storage::segment_ref segment);
 
   cost_split path_access(
       leaf_id leaf, block_id requested, op_kind op,
@@ -229,9 +271,18 @@ class path_oram {
   std::uint64_t resident_ = 0;
   path_oram_stats stats_;
 
-  // Reused per-access scratch (one bucket's records).
+  /// Page geometry + valid bits; null under storage_layout::flat (and
+  /// when no level is storage-resident).
+  std::unique_ptr<storage::page_layout> page_;
+  std::unique_ptr<storage::valid_bit_tree> valid_;
+
+  // Reused per-access scratch.
   std::vector<std::uint8_t> bucket_scratch_;
   std::vector<std::uint8_t> payload_scratch_;
+  /// One path's bucket records (level_count_ * Z records).
+  std::vector<std::uint8_t> path_window_;
+  /// Per-group segment bytes of the access in flight (page layout).
+  std::vector<std::vector<std::uint8_t>> segment_buffers_;
 };
 
 }  // namespace horam::oram

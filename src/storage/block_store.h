@@ -58,6 +58,13 @@ class block_store {
   /// for tests and integrity checks only).
   [[nodiscard]] std::span<const std::uint8_t> peek(std::uint64_t slot) const;
 
+  /// Installs a record's host bytes without touching the device (no
+  /// device time, no op counted). For state the device never has to
+  /// materialise — e.g. the all-dummy image behind unset valid bits,
+  /// which page-layout reads reconstruct from trusted knowledge instead
+  /// of a transfer.
+  void prime(std::uint64_t slot, std::span<const std::uint8_t> in);
+
   /// Fault injection: XORs `mask` into one stored byte, bypassing the
   /// device (models an adversary or bit rot). Test use only.
   void corrupt(std::uint64_t slot, std::size_t byte_offset,

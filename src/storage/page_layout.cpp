@@ -1,0 +1,140 @@
+#include "storage/page_layout.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::storage {
+
+page_layout::page_layout(const page_layout_config& config) : config_(config) {
+  expects(config_.total_levels > 0, "page_layout: total_levels must be > 0");
+  expects(config_.first_level < config_.total_levels,
+          "page_layout: first_level must leave at least one storage level");
+  expects(config_.bucket_size > 0, "page_layout: bucket_size must be > 0");
+  expects(config_.logical_block_bytes > 0,
+          "page_layout: logical_block_bytes must be > 0");
+  expects(config_.page_bytes > 0, "page_layout: page_bytes must be > 0");
+
+  const std::uint64_t bucket_bytes =
+      static_cast<std::uint64_t>(config_.bucket_size) *
+      config_.logical_block_bytes;
+  const std::uint64_t buckets_per_page = config_.page_bytes / bucket_bytes;
+  // A depth-h subtree holds 2^h - 1 buckets; pick the deepest subtree
+  // that still fits one page, never less than a single bucket.
+  group_levels_ =
+      buckets_per_page > 0 ? util::floor_log2(buckets_per_page + 1) : 1;
+  if (group_levels_ == 0) {
+    group_levels_ = 1;
+  }
+  const std::uint32_t io_levels = config_.total_levels - config_.first_level;
+  if (group_levels_ > io_levels) {
+    group_levels_ = io_levels;
+  }
+  group_count_ = (io_levels + group_levels_ - 1) / group_levels_;
+
+  group_slot_base_.reserve(group_count_ + 1);
+  group_slot_base_.push_back(0);
+  for (std::uint32_t g = 0; g < group_count_; ++g) {
+    group_slot_base_.push_back(group_slot_base_.back() +
+                               segment_count(g) * segment_records(g));
+  }
+}
+
+std::uint32_t page_layout::group_height(std::uint32_t group) const {
+  expects(group < group_count_, "page_layout: group out of range");
+  const std::uint32_t io_levels = config_.total_levels - config_.first_level;
+  const std::uint32_t covered = group * group_levels_;
+  const std::uint32_t remaining = io_levels - covered;
+  return remaining < group_levels_ ? remaining : group_levels_;
+}
+
+std::uint32_t page_layout::group_top_level(std::uint32_t group) const {
+  expects(group < group_count_, "page_layout: group out of range");
+  return config_.first_level + group * group_levels_;
+}
+
+std::uint64_t page_layout::segment_count(std::uint32_t group) const {
+  return std::uint64_t{1} << group_top_level(group);
+}
+
+std::uint64_t page_layout::segment_buckets(std::uint32_t group) const {
+  return (std::uint64_t{1} << group_height(group)) - 1;
+}
+
+std::uint64_t page_layout::segment_records(std::uint32_t group) const {
+  return segment_buckets(group) * config_.bucket_size;
+}
+
+segment_ref page_layout::segment_of(std::uint32_t level,
+                                    std::uint64_t position) const {
+  expects(level >= config_.first_level && level < config_.total_levels,
+          "page_layout: level not storage-resident");
+  expects(position < (std::uint64_t{1} << level),
+          "page_layout: position out of range for level");
+  const std::uint32_t depth = level - config_.first_level;
+  segment_ref segment;
+  segment.group = depth / group_levels_;
+  segment.index = position >> (depth - segment.group * group_levels_);
+  return segment;
+}
+
+segment_ref page_layout::path_segment(std::uint32_t group,
+                                      std::uint64_t leaf) const {
+  const std::uint32_t leaf_level = config_.total_levels - 1;
+  expects(leaf < (std::uint64_t{1} << leaf_level),
+          "page_layout: leaf out of range");
+  segment_ref segment;
+  segment.group = group;
+  segment.index = leaf >> (leaf_level - group_top_level(group));
+  return segment;
+}
+
+std::uint64_t page_layout::segment_first_slot(segment_ref segment) const {
+  expects(segment.index < segment_count(segment.group),
+          "page_layout: segment index out of range");
+  return group_slot_base_[segment.group] +
+         segment.index * segment_records(segment.group);
+}
+
+std::uint64_t page_layout::bucket_index_in_segment(
+    std::uint32_t level, std::uint64_t position) const {
+  const std::uint32_t depth = level - config_.first_level;
+  const std::uint32_t local = depth % group_levels_;
+  // Breadth-first within the segment's subtree: the 2^local buckets of
+  // local depth `local` follow the 2^local - 1 shallower ones.
+  return ((std::uint64_t{1} << local) - 1) +
+         (position & ((std::uint64_t{1} << local) - 1));
+}
+
+std::uint64_t page_layout::bucket_first_slot(std::uint32_t level,
+                                             std::uint64_t position) const {
+  const segment_ref segment = segment_of(level, position);
+  return segment_first_slot(segment) +
+         bucket_index_in_segment(level, position) * config_.bucket_size;
+}
+
+valid_bit_tree::valid_bit_tree(std::uint64_t bucket_count)
+    : size_(bucket_count), bits_((bucket_count + 63) / 64, 0) {}
+
+bool valid_bit_tree::test(std::uint64_t bucket) const {
+  expects(bucket < size_, "valid_bit_tree: bucket out of range");
+  return (bits_[bucket >> 6] >> (bucket & 63)) & 1;
+}
+
+void valid_bit_tree::set(std::uint64_t bucket) {
+  expects(bucket < size_, "valid_bit_tree: bucket out of range");
+  std::uint64_t& word = bits_[bucket >> 6];
+  const std::uint64_t mask = std::uint64_t{1} << (bucket & 63);
+  if (!(word & mask)) {
+    word |= mask;
+    ++valid_count_;
+  }
+}
+
+void valid_bit_tree::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  valid_count_ = 0;
+}
+
+}  // namespace horam::storage

@@ -1,0 +1,163 @@
+// Page-optimized bucket layout for tree-resident storage lanes.
+//
+// The flat layout stores a Path ORAM tree bucket-by-bucket: a path
+// access issues one device operation per level, so every bucket pays
+// the device's per-op + seek charge. This layout instead packs complete
+// depth-h subtrees ("segments") of the storage-resident levels into
+// device pages: the h buckets a path touches inside one segment arrive
+// with a single range transfer, so a path of L storage levels costs
+// ceil(L / h) operations instead of L. The group height h derives from
+// the configured page size — h = floor(log2(buckets_per_page + 1)),
+// floored at 1, where buckets_per_page counts whole timing-size buckets
+// per page — so `page_bytes` below one bucket degenerates to the flat
+// op pattern (h = 1, one bucket per segment).
+//
+// Layout on the device (slot space of the storage lane's block_store):
+// levels are partitioned into groups of h consecutive levels starting
+// at `first_level` (the shallower levels live in trusted memory); the
+// last group may be shorter. Each group stores its segments — one per
+// subtree root at the group's top level — contiguously, buckets in
+// breadth-first order inside a segment, the bucket's Z records
+// contiguous. Segments exactly partition the buckets, so the total
+// slot count (and therefore the physical footprint) matches the flat
+// layout; only the slot permutation and the transfer granularity
+// change.
+//
+// valid_bit_tree tracks, in trusted memory, which buckets have ever
+// been written since the last reset (one bit per bucket). A segment
+// none of whose buckets is valid is known to hold only dummy records,
+// so its device read — and the bulk writes of initialization and reset
+// — can be skipped entirely. Occupancy is data-independent by
+// construction: bits are set by path write-backs, whose leaves are
+// uniform draws regardless of which block ids the workload touches.
+#ifndef HORAM_STORAGE_PAGE_LAYOUT_H
+#define HORAM_STORAGE_PAGE_LAYOUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace horam::storage {
+
+/// Device-side layouts of a tree-resident storage lane.
+enum class storage_layout : std::uint8_t {
+  /// One range operation per bucket, buckets in heap order — the
+  /// historical layout; bit-for-bit the pre-page machine.
+  flat,
+  /// Buckets packed into page-sized subtree segments; one operation per
+  /// contiguous path segment, with valid-bit skipping of never-written
+  /// segments.
+  page,
+};
+
+/// Static geometry of a page layout.
+struct page_layout_config {
+  /// Total tree levels (root = level 0).
+  std::uint32_t total_levels = 0;
+  /// First storage-resident level; levels above it are in memory.
+  std::uint32_t first_level = 0;
+  /// Records per bucket (Path ORAM's Z). Any positive value — the
+  /// layout does not require a power of two.
+  std::uint32_t bucket_size = 0;
+  /// Bytes the modelled hardware moves per record (timing size).
+  std::uint64_t logical_block_bytes = 0;
+  /// Target device page size; determines the group height.
+  std::uint64_t page_bytes = 0;
+};
+
+/// One segment: a depth-`group_height(group)` subtree stored
+/// contiguously. `index` is the subtree root's position within the
+/// group's top level.
+struct segment_ref {
+  std::uint32_t group = 0;
+  std::uint64_t index = 0;
+};
+
+/// Pure addressing math: bucket (level, position) <-> store slot, path
+/// leaf -> touched segments. Unit-testable without devices.
+class page_layout {
+ public:
+  explicit page_layout(const page_layout_config& config);
+
+  [[nodiscard]] const page_layout_config& config() const noexcept {
+    return config_;
+  }
+  /// Levels covered by a full group (h above).
+  [[nodiscard]] std::uint32_t group_levels() const noexcept {
+    return group_levels_;
+  }
+  [[nodiscard]] std::uint32_t group_count() const noexcept {
+    return group_count_;
+  }
+  /// Levels covered by `group` (the last group may be truncated).
+  [[nodiscard]] std::uint32_t group_height(std::uint32_t group) const;
+  /// Global tree level of the group's subtree roots.
+  [[nodiscard]] std::uint32_t group_top_level(std::uint32_t group) const;
+  /// Segments in `group` (one per subtree root at its top level).
+  [[nodiscard]] std::uint64_t segment_count(std::uint32_t group) const;
+  /// Buckets per segment of `group`: 2^height - 1 (partial pages when
+  /// the group is truncated).
+  [[nodiscard]] std::uint64_t segment_buckets(std::uint32_t group) const;
+  /// Record slots per segment of `group`.
+  [[nodiscard]] std::uint64_t segment_records(std::uint32_t group) const;
+  /// Total record slots over all groups; equals the flat layout's
+  /// storage-resident slot count (segments partition the buckets).
+  [[nodiscard]] std::uint64_t total_slots() const noexcept {
+    return group_slot_base_.back();
+  }
+
+  /// Segment holding the bucket at (level, position-in-level).
+  [[nodiscard]] segment_ref segment_of(std::uint32_t level,
+                                       std::uint64_t position) const;
+  /// Segment a path to `leaf` touches in `group`.
+  [[nodiscard]] segment_ref path_segment(std::uint32_t group,
+                                         std::uint64_t leaf) const;
+  /// First record slot of `segment`.
+  [[nodiscard]] std::uint64_t segment_first_slot(segment_ref segment) const;
+  /// Bucket ordinal within its segment, breadth-first from the root.
+  [[nodiscard]] std::uint64_t bucket_index_in_segment(
+      std::uint32_t level, std::uint64_t position) const;
+  /// First record slot of the bucket at (level, position-in-level).
+  [[nodiscard]] std::uint64_t bucket_first_slot(std::uint32_t level,
+                                                std::uint64_t position) const;
+
+ private:
+  page_layout_config config_;
+  std::uint32_t group_levels_ = 1;
+  std::uint32_t group_count_ = 0;
+  /// group_slot_base_[g] = first slot of group g; back() = total slots.
+  std::vector<std::uint64_t> group_slot_base_;
+};
+
+/// Trusted-memory bitmap over the storage-resident buckets: bit set =
+/// the bucket has been written since the last clear(), so its device
+/// copy may differ from the all-dummy initial state. Indexed by the
+/// lane-local bucket ordinal (heap index minus the in-memory prefix).
+class valid_bit_tree {
+ public:
+  explicit valid_bit_tree(std::uint64_t bucket_count);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool test(std::uint64_t bucket) const;
+  void set(std::uint64_t bucket);
+  /// Resets every bit (tree reinitialised to all-dummy).
+  void clear();
+  /// Buckets currently marked valid (occupancy; audits assert this is
+  /// workload-independent).
+  [[nodiscard]] std::uint64_t valid_count() const noexcept {
+    return valid_count_;
+  }
+  /// Trusted-memory footprint of the bitmap.
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return bits_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::uint64_t size_ = 0;
+  std::uint64_t valid_count_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace horam::storage
+
+#endif  // HORAM_STORAGE_PAGE_LAYOUT_H

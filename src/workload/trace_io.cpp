@@ -3,11 +3,36 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "workload/generators.h"
 
 namespace horam::workload {
+
+namespace {
+
+/// Parses a full numeric field; throws naming the 1-based file line on
+/// anything std::stoull would reject (or trailing junk it would
+/// silently ignore).
+std::uint64_t parse_field(const std::string& text, const char* field,
+                          std::uint64_t file_line) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("trace line " + std::to_string(file_line) +
+                             ": malformed " + field + " field '" + text +
+                             "'");
+  }
+}
+
+}  // namespace
 
 void save_trace(std::ostream& out, const std::vector<request>& stream) {
   for (const request& req : stream) {
@@ -20,8 +45,20 @@ std::vector<request> load_trace(std::istream& in,
                                 std::size_t payload_bytes) {
   std::vector<request> stream;
   std::string line;
-  std::uint64_t line_number = 0;
+  /// 1-based file line, counted for every line read — including the
+  /// blank and comment lines that never become requests — so error
+  /// messages point at the line an editor shows.
+  std::uint64_t file_line = 0;
+  /// Per-id write ordinal: payloads depend only on (id, how many writes
+  /// to that id precede this one), so inserting comments or replaying a
+  /// prefix never changes what a given write stores, and
+  /// save→load→save round-trips are byte-identical.
+  std::unordered_map<oram::block_id, std::uint64_t> write_ordinal;
   while (std::getline(in, line)) {
+    ++file_line;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
     if (line.empty() || line[0] == '#') {
       continue;
     }
@@ -31,7 +68,7 @@ std::vector<request> load_trace(std::istream& in,
     std::string user_text;
     if (!std::getline(fields, op_text, ',') ||
         !std::getline(fields, id_text, ',')) {
-      throw std::runtime_error("trace line " + std::to_string(line_number) +
+      throw std::runtime_error("trace line " + std::to_string(file_line) +
                                ": expected 'op,id[,user]'");
     }
     std::getline(fields, user_text, ',');
@@ -42,18 +79,19 @@ std::vector<request> load_trace(std::istream& in,
     } else if (op_text == "R") {
       req.op = oram::op_kind::read;
     } else {
-      throw std::runtime_error("trace line " + std::to_string(line_number) +
+      throw std::runtime_error("trace line " + std::to_string(file_line) +
                                ": op must be R or W");
     }
-    req.id = std::stoull(id_text);
+    req.id = parse_field(id_text, "id", file_line);
     req.user = user_text.empty()
                    ? 0
-                   : static_cast<std::uint32_t>(std::stoul(user_text));
+                   : static_cast<std::uint32_t>(
+                         parse_field(user_text, "user", file_line));
     if (req.op == oram::op_kind::write) {
-      req.write_data = payload_for(req.id, line_number, payload_bytes);
+      req.write_data =
+          payload_for(req.id, write_ordinal[req.id]++, payload_bytes);
     }
     stream.push_back(std::move(req));
-    ++line_number;
   }
   return stream;
 }

@@ -1,9 +1,12 @@
 // Request-trace serialisation: simple CSV so traces can be captured,
 // replayed and diffed across runs and implementations.
 //
-// Format: one line per request, "op,id,user" with op in {R, W}. Write
-// payloads are regenerated from (id, line number) via payload_for, so
-// a trace file fully determines the run.
+// Format: one line per request, "op,id,user" with op in {R, W}; blank
+// lines and '#' comments are skipped, and a trailing CR (CRLF files) is
+// tolerated. Write payloads are regenerated from (id, per-id write
+// ordinal) via payload_for, so a trace file fully determines the run
+// and inserting comments or reordering unrelated lines never changes
+// what a write stores.
 #ifndef HORAM_WORKLOAD_TRACE_IO_H
 #define HORAM_WORKLOAD_TRACE_IO_H
 
