@@ -1,33 +1,51 @@
 // Backend matrix: the same hotspot workload through every pluggable
 // oblivious store — H-ORAM's partitioned layer, the sqrt ORAM with
-// Melbourne reshuffles, the partition ORAM with isolated shuffles, and
-// the Path ORAM tree with a recursive position map — on the paper's
-// calibrated machine. The point of the cacheable interface is that this
-// whole table is one builder argument; the numbers show what each
-// scheme's shuffle machinery (or, for Path ORAM, per-access tree walk)
-// costs behind an identical cache, scheduler and workload.
+// Melbourne reshuffles, the partition ORAM with isolated shuffles, the
+// Path ORAM tree with a recursive position map, and the Ring ORAM tree
+// with one-slot-per-bucket online reads — on the paper's calibrated
+// machine. The point of the cacheable interface is that this whole
+// table is one builder argument; the numbers show what each scheme's
+// shuffle machinery (or, for the tree backends, per-access walk) costs
+// behind an identical cache, scheduler and workload.
+//
+// Every run writes BENCH_backends.json to the working directory so the
+// trajectory is machine-readable (CI uploads it as an artifact);
+// `--json` additionally emits the document to stdout instead of the
+// table and `--small` shrinks the dataset for smoke runs.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common.h"
 #include "util/table.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace horam;
   using namespace horam::bench;
 
+  const bench_options options = parse_bench_args(argc, argv);
+
   const machine hw = paper_machine();
-  workload_recipe recipe;
-  recipe.request_count = 40000;
+  const workload_recipe recipe = bench_recipe(options, 6000, 40000);
 
   dataset data;
-  data.data_bytes = 32 * util::mib;
-  data.memory_bytes = 4 * util::mib;
+  data.data_bytes = options.small ? 8 * util::mib : 32 * util::mib;
+  data.memory_bytes = data.data_bytes / 8;
 
-  std::cout << "=== One workload, four oblivious stores (32 MB dataset, "
-               "1/8 memory) ===\n";
+  if (!options.json) {
+    std::cout << "=== One workload, five oblivious stores ("
+              << util::format_bytes(data.data_bytes) << " dataset, 1/8 "
+              << "memory, "
+              << util::format_count(recipe.request_count)
+              << " requests) ===\n";
+  }
+  std::string json = "{\n  \"bench\": \"ablation_backends\",\n"
+                     "  \"runs\": [\n";
+  bool first_run = true;
   util::text_table table({"Backend", "I/O accesses", "I/O latency",
-                          "Shuffle time", "Storage bytes", "Total time",
+                          "Shuffle time", "Device ops", "Device bytes",
+                          "Storage bytes", "Total time",
                           "vs partitioned"});
   sim::sim_time partitioned_total = 0;
   for (const backend_kind kind : all_backend_kinds) {
@@ -41,17 +59,39 @@ int main() {
          util::format_count(run.io_accesses),
          util::format_double(run.avg_io_latency_us, 1) + " us",
          util::format_time_ns(run.shuffle_time),
+         util::format_count(run.device_read_ops + run.device_write_ops),
+         util::format_bytes(run.device_read_bytes +
+                            run.device_write_bytes),
          util::format_bytes(run.storage_bytes),
          util::format_time_ns(run.total_time),
          util::format_double(static_cast<double>(run.total_time) /
                                  static_cast<double>(partitioned_total),
                              2) +
              "x"});
+    if (!first_run) {
+      json += ",\n";
+    }
+    first_run = false;
+    json += "    {\"backend\": " + json_escape(backend_name(kind)) +
+            ", " + json_fields(run) + "}";
   }
-  table.print(std::cout);
-  std::cout << "The flat backends pay their cost in shuffle passes; the "
-               "path backend pays it\nper access (log N bucket walk + "
-               "recursive map) — the trade the paper's Figure\n3-1 "
-               "frames, now measured behind one interface.\n";
+  json += "\n  ]\n}\n";
+
+  std::ofstream out("BENCH_backends.json");
+  out << json;
+  out.close();
+
+  if (options.json) {
+    std::cout << json;
+  } else {
+    table.print(std::cout);
+    std::cout << "The flat backends pay their cost in shuffle passes; "
+                 "the tree backends pay it\nper access — path walks "
+                 "whole buckets, ring reads one slot per bucket (XOR-"
+                 "\ncombined) and pays eviction/reshuffle sweeps in the "
+                 "background — the trade the\npaper's Figure 3-1 "
+                 "frames, now measured behind one interface.\n"
+                 "(wrote BENCH_backends.json)\n";
+  }
   return 0;
 }

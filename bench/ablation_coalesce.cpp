@@ -132,7 +132,8 @@ int main(int argc, char** argv) {
 
   const std::uint64_t blocks = options.small ? 2048 : 16384;
   const std::uint64_t memory_blocks = blocks / 8;
-  const std::uint64_t request_count = options.small ? 4000 : 12000;
+  const std::uint64_t request_count =
+      bench_request_count(options, 4000, 12000);
 
   const std::vector<workload_spec> workloads =
       options.small

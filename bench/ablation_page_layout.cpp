@@ -31,14 +31,6 @@ namespace {
 using namespace horam;
 using namespace horam::bench;
 
-std::vector<sim::device_profile> storage_profiles(bool small) {
-  if (small) {
-    return {sim::hdd_paper(), sim::dram_ddr4()};
-  }
-  return {sim::hdd_paper(), sim::hdd_7200_raw(), sim::ssd_sata(),
-          sim::dram_ddr4()};
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,12 +39,11 @@ int main(int argc, char** argv) {
   dataset data;
   data.data_bytes = options.small ? 8 * util::mib : 64 * util::mib;
   data.memory_bytes = options.small ? 1 * util::mib : 8 * util::mib;
-  workload_recipe recipe;
-  recipe.request_count = options.small ? 3000 : 20000;
+  const workload_recipe recipe = bench_recipe(options, 3000, 20000);
 
   const std::uint64_t page_bytes = 16384;
   const std::vector<sim::device_profile> profiles =
-      storage_profiles(options.small);
+      bench_storage_profiles(options);
   const std::vector<backend_kind> kinds =
       options.small
           ? std::vector<backend_kind>{backend_kind::path}

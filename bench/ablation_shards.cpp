@@ -33,8 +33,7 @@ int main(int argc, char** argv) {
   dataset data;
   data.data_bytes = options.small ? 8 * util::mib : 64 * util::mib;
   data.memory_bytes = options.small ? 1 * util::mib : 8 * util::mib;
-  workload_recipe recipe;
-  recipe.request_count = options.small ? 4000 : 25000;
+  const workload_recipe recipe = bench_recipe(options, 4000, 25000);
   const machine hw = paper_machine();
 
   if (!options.json) {

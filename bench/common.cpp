@@ -48,6 +48,20 @@ machine paper_machine() {
 
 bench_options parse_bench_args(int argc, char** argv) {
   bench_options options;
+  const auto count_flag = [&](int& i, std::string_view flag) {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value (an integer >= 1)\n";
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(argv[++i], &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0) {
+      std::cerr << flag << " got '" << argv[i]
+                << "' (expected an integer >= 1)\n";
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(value);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
@@ -55,27 +69,63 @@ bench_options parse_bench_args(int argc, char** argv) {
     } else if (arg == "--small") {
       options.small = true;
     } else if (arg == "--threads") {
+      options.threads =
+          static_cast<std::uint32_t>(count_flag(i, "--threads"));
+    } else if (arg == "--requests") {
+      options.requests = count_flag(i, "--requests");
+    } else if (arg == "--profile") {
       if (i + 1 >= argc) {
-        std::cerr << "--threads needs a value (worker thread count, "
-                     ">= 1)\n";
+        std::cerr << "--profile needs a name "
+                     "(hdd | hdd-raw | ssd | nvme | dram)\n";
         std::exit(2);
       }
-      char* end = nullptr;
-      const unsigned long value = std::strtoul(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || value == 0) {
-        std::cerr << "--threads got '" << argv[i]
-                  << "' (expected an integer >= 1)\n";
+      options.profile = argv[++i];
+      try {
+        (void)storage_profile_by_name(options.profile);
+      } catch (const contract_error&) {
+        std::cerr << "--profile got '" << options.profile
+                  << "' (supported: hdd hdd-raw ssd nvme dram)\n";
         std::exit(2);
       }
-      options.threads = static_cast<std::uint32_t>(value);
     } else {
       std::cerr << "unknown flag '" << arg
-                << "' (supported: --json --small --threads N)\n";
+                << "' (supported: --json --small --threads N "
+                   "--profile NAME --requests N)\n";
       std::exit(2);
     }
   }
   g_cli_threads = options.threads;
   return options;
+}
+
+std::uint64_t bench_request_count(const bench_options& options,
+                                  std::uint64_t small_requests,
+                                  std::uint64_t full_requests) {
+  if (options.requests > 0) {
+    return options.requests;
+  }
+  return options.small ? small_requests : full_requests;
+}
+
+workload_recipe bench_recipe(const bench_options& options,
+                             std::uint64_t small_requests,
+                             std::uint64_t full_requests) {
+  workload_recipe recipe;
+  recipe.request_count =
+      bench_request_count(options, small_requests, full_requests);
+  return recipe;
+}
+
+std::vector<sim::device_profile> bench_storage_profiles(
+    const bench_options& options) {
+  if (!options.profile.empty()) {
+    return {storage_profile_by_name(options.profile)};
+  }
+  if (options.small) {
+    return {sim::hdd_paper(), sim::dram_ddr4()};
+  }
+  return {sim::hdd_paper(), sim::hdd_7200_raw(), sim::ssd_sata(),
+          sim::dram_ddr4()};
 }
 
 std::string json_escape(std::string_view text) {
@@ -131,6 +181,17 @@ std::string json_fields(const system_run& run) {
       << ", \"storage_bytes\": " << run.storage_bytes
       << ", \"device_read_ops\": " << run.device_read_ops
       << ", \"device_write_ops\": " << run.device_write_ops
+      << ", \"device_read_bytes\": " << run.device_read_bytes
+      << ", \"device_write_bytes\": " << run.device_write_bytes
+      << ", \"shuffle_device_read_ops\": " << run.shuffle_device_read_ops
+      << ", \"shuffle_device_write_ops\": "
+      << run.shuffle_device_write_ops
+      << ", \"shuffle_device_read_bytes\": "
+      << run.shuffle_device_read_bytes
+      << ", \"shuffle_device_write_bytes\": "
+      << run.shuffle_device_write_bytes
+      << ", \"online_device_ops\": " << run.online_device_ops()
+      << ", \"online_device_bytes\": " << run.online_device_bytes()
       << ", \"host_seconds\": " << json_number(run.host_seconds)
       << ", \"latency_p50_ns\": " << run.latency_p50
       << ", \"latency_p95_ns\": " << run.latency_p95
@@ -199,7 +260,13 @@ system_run run_horam(
     const sim::io_stats& device = ctrl.eng().shard_storage(s).stats();
     run.device_read_ops += device.read_ops;
     run.device_write_ops += device.write_ops;
+    run.device_read_bytes += device.bytes_read;
+    run.device_write_bytes += device.bytes_written;
   }
+  run.shuffle_device_read_ops = stats.shuffle_device_read_ops;
+  run.shuffle_device_write_ops = stats.shuffle_device_write_ops;
+  run.shuffle_device_read_bytes = stats.shuffle_device_read_bytes;
+  run.shuffle_device_write_bytes = stats.shuffle_device_write_bytes;
   run.latency_p50 = stats.request_latency.p50();
   run.latency_p95 = stats.request_latency.p95();
   run.latency_p99 = stats.request_latency.p99();
@@ -275,6 +342,8 @@ system_run run_tree_top_path(const dataset& data,
                       data.block_bytes;
   run.device_read_ops = storage_device.stats().read_ops;
   run.device_write_ops = storage_device.stats().write_ops;
+  run.device_read_bytes = storage_device.stats().bytes_read;
+  run.device_write_bytes = storage_device.stats().bytes_written;
   run.wall_seconds = seconds_since(stream_start);
   run.host_seconds = seconds_since(start);
   return run;

@@ -64,6 +64,36 @@ struct system_run {
   /// segment instead of one per bucket).
   std::uint64_t device_read_ops = 0;
   std::uint64_t device_write_ops = 0;
+  /// Storage-device bytes moved during the stream, summed over shard
+  /// lanes — what the ring backend's one-slot-per-bucket reads (and
+  /// the XOR-combined fetch) reduce relative to full-bucket paths.
+  std::uint64_t device_read_bytes = 0;
+  std::uint64_t device_write_bytes = 0;
+  /// The shuffle-period / shuffle-slice share of the device traffic
+  /// above (controller_stats::shuffle_device_*); subtracting it leaves
+  /// the online traffic of the access rounds.
+  std::uint64_t shuffle_device_read_ops = 0;
+  std::uint64_t shuffle_device_write_ops = 0;
+  std::uint64_t shuffle_device_read_bytes = 0;
+  std::uint64_t shuffle_device_write_bytes = 0;
+
+  /// Device ops / bytes of the access rounds only (totals minus the
+  /// shuffle share) — the cost an interactive request actually waits
+  /// on, and the headline the ring backend's one-slot online reads
+  /// move. Saturating: a backend whose shuffles outpace the window's
+  /// totals (impossible today) would read as zero, not wrap.
+  [[nodiscard]] std::uint64_t online_device_ops() const {
+    const std::uint64_t total = device_read_ops + device_write_ops;
+    const std::uint64_t shuffle =
+        shuffle_device_read_ops + shuffle_device_write_ops;
+    return total > shuffle ? total - shuffle : 0;
+  }
+  [[nodiscard]] std::uint64_t online_device_bytes() const {
+    const std::uint64_t total = device_read_bytes + device_write_bytes;
+    const std::uint64_t shuffle =
+        shuffle_device_read_bytes + shuffle_device_write_bytes;
+    return total > shuffle ? total - shuffle : 0;
+  }
 };
 
 /// Workload recipe shared by both systems (§5.2.1): hotspot stream with
@@ -124,11 +154,38 @@ struct bench_options {
   /// bench runs threaded without code changes; per-run config tweaks
   /// still win when they set the runtime themselves.
   std::uint32_t threads = 0;
+  /// Restrict profile-sweeping benches to one storage profile
+  /// (hdd | hdd-raw | ssd | nvme | dram); empty sweeps the bench's
+  /// own default list. Validated at parse time.
+  std::string profile;
+  /// Override the per-run request count; 0 keeps the bench's
+  /// small/full defaults.
+  std::uint64_t requests = 0;
 };
 
-/// Parses `--json`, `--small` and `--threads N`; unknown flags abort
+/// Parses `--json`, `--small`, `--threads N`, `--profile NAME` and
+/// `--requests N`; unknown flags (and unknown profile names) abort
 /// with a usage message so CI failures are loud.
 bench_options parse_bench_args(int argc, char** argv);
+
+/// The bench's request count: the `--requests` override when given,
+/// else the small/full default — the once-per-main
+/// `options.small ? X : Y` request block, hoisted.
+[[nodiscard]] std::uint64_t bench_request_count(
+    const bench_options& options, std::uint64_t small_requests,
+    std::uint64_t full_requests);
+
+/// Workload recipe honoring `--requests` / `--small`, for benches whose
+/// only per-mode recipe difference is the request count.
+[[nodiscard]] workload_recipe bench_recipe(const bench_options& options,
+                                           std::uint64_t small_requests,
+                                           std::uint64_t full_requests);
+
+/// Storage profiles a profile-sweeping bench should run: the
+/// `--profile` singleton when given, else {hdd, dram} for `--small`
+/// runs and {hdd, hdd-raw, ssd, dram} for full runs.
+[[nodiscard]] std::vector<sim::device_profile> bench_storage_profiles(
+    const bench_options& options);
 
 /// JSON string literal with escaping.
 std::string json_escape(std::string_view text);

@@ -57,8 +57,9 @@ int main() {
               session_results.size());
 
   // --- 4. Backend comparison: the paper's hotspot workload through all
-  // four oblivious stores (H-ORAM's partitioned layer, sqrt ORAM,
-  // partition ORAM, Path ORAM with a recursive position map).
+  // five oblivious stores (H-ORAM's partitioned layer, sqrt ORAM,
+  // partition ORAM, Path ORAM with a recursive position map, and
+  // Ring ORAM with one-slot XOR-combined online reads).
   // Everything other than the backend() call is identical. ---
   const auto measure = [](backend_kind kind) {
     client c = client_builder()
@@ -112,7 +113,7 @@ int main() {
     return util::format_time_ns(stats.total_time);
   };
 
-  std::printf("\nsame workload, four oblivious stores "
+  std::printf("\nsame workload, five oblivious stores "
               "(one .backend(...) call apart):\n");
   std::vector<std::string> header = {"Metric"};
   for (const client& c : stores) {

@@ -119,6 +119,28 @@ struct horam_config {
   /// lanes to overlap.
   std::uint32_t worker_threads = 0;
 
+  /// Ring ORAM backend (oram/ring/): real block slots per bucket (the
+  /// Ring paper's Z). Ring buckets are wider and shallower than Path
+  /// ORAM's, so the knob is separate from bucket_size; the default is
+  /// the Ring ORAM paper's proven (Z, S, A) = (16, 25, 20) tuple.
+  std::uint32_t ring_bucket_size = 16;
+  /// Dummy (spare) slots per Ring ORAM bucket (S). Each online read
+  /// consumes one unread slot per bucket; a bucket is reshuffled early
+  /// once S slots have been consumed since its last rewrite, so S > A
+  /// makes early reshuffles rare.
+  std::uint32_t ring_spare_slots = 25;
+  /// Ring ORAM eviction rate (A): one deterministic reverse-
+  /// lexicographic path eviction every A online reads. Public
+  /// information by design — the eviction schedule depends only on the
+  /// access count, never on the workload.
+  std::uint32_t ring_eviction_rate = 20;
+  /// XOR-combined online reads: the storage side folds the one chosen
+  /// slot per bucket into a single combined block, which the client
+  /// unXORs using the deterministic dummy encodings — one device
+  /// transfer per path read instead of one per level. Off falls back
+  /// to per-slot reads (same trace shape, one op per chosen slot).
+  bool ring_xor = true;
+
   /// Recursive position map of the path backend: leaf labels packed
   /// into one map block (the compression factor per recursion level).
   std::uint64_t map_entries_per_block = 64;
@@ -176,6 +198,10 @@ struct horam_config {
     expects(shard_count >= 1, "shard count must be >= 1");
     expects(shard_count <= block_count,
             "more shards than blocks leaves shards empty");
+    expects(ring_bucket_size >= 1, "ring bucket size (Z) must be >= 1");
+    expects(ring_spare_slots >= 1, "ring spare slots (S) must be >= 1");
+    expects(ring_eviction_rate >= 1,
+            "ring eviction rate (A) must be >= 1");
     expects(map_entries_per_block >= 2,
             "map recursion needs at least two entries per block");
     expects(map_direct_threshold >= 1,

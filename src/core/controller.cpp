@@ -62,7 +62,9 @@ controller::controller(
     : controller(config,
                  std::make_unique<storage_layer>(config, storage_device,
                                                  cpu, rng, trace, filler),
-                 memory_device, cpu, rng, trace) {}
+                 memory_device, cpu, rng, trace) {
+  attach_device_stats(&storage_device.stats());
+}
 
 const storage_layer& controller::storage() const {
   const auto* partitioned = dynamic_cast<const storage_layer*>(
@@ -294,6 +296,8 @@ void controller::pump_shuffle_slice() {
   // advanced at creation).
   trace(trace_, oram::event_kind::shuffle_slice, period_index_ - 1,
         stats_.shuffle_slices);
+  const sim::io_stats device_before =
+      device_stats_ != nullptr ? *device_stats_ : sim::io_stats{};
   const shuffle_cost sc = shuffle_job_->step(config_.shuffle_slice_budget);
   clock_.advance(sc.total());
   ++stats_.shuffle_slices;
@@ -309,6 +313,22 @@ void controller::pump_shuffle_slice() {
       shelter_.emplace(block.id, std::move(block.payload));
     }
   }
+  charge_shuffle_device_delta(device_before);
+}
+
+void controller::charge_shuffle_device_delta(
+    const sim::io_stats& before) noexcept {
+  if (device_stats_ == nullptr) {
+    return;
+  }
+  stats_.shuffle_device_read_ops +=
+      device_stats_->read_ops - before.read_ops;
+  stats_.shuffle_device_write_ops +=
+      device_stats_->write_ops - before.write_ops;
+  stats_.shuffle_device_read_bytes +=
+      device_stats_->bytes_read - before.bytes_read;
+  stats_.shuffle_device_write_bytes +=
+      device_stats_->bytes_written - before.bytes_written;
 }
 
 void controller::run_shuffle_period() {
@@ -342,6 +362,8 @@ void controller::run_shuffle_period() {
                         config_.shuffle_slice_budget > 0;
   std::vector<oram::evicted_block> overflow;
   shuffle_cost sc;
+  const sim::io_stats device_before =
+      device_stats_ != nullptr ? *device_stats_ : sim::io_stats{};
   if (config_.shuffle == shuffle_policy::incremental) {
     std::unique_ptr<shuffle_job> job =
         storage_->begin_shuffle(std::move(evicted), period_index_);
@@ -357,6 +379,7 @@ void controller::run_shuffle_period() {
     sc = storage_->shuffle_period(std::move(evicted), period_index_,
                                   overflow);
   }
+  charge_shuffle_device_delta(device_before);
   for (auto& block : overflow) {
     shelter_.emplace(block.id, std::move(block.payload));
   }

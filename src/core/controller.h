@@ -91,6 +91,18 @@ struct controller_stats {
   /// slice budget should be sized to avoid).
   sim::sim_time shuffle_stall_time = 0;
 
+  /// Storage-device traffic attributable to shuffle periods and
+  /// incremental shuffle slices, measured by snapshotting the device's
+  /// io_stats around the shuffle execution points (zero until
+  /// attach_device_stats wires a device; the engine does). Subtracting
+  /// these from the device totals isolates the *online* traffic of the
+  /// access rounds — the split the ring backend's one-slot reads and
+  /// XOR fetches improve while its evictions batch into sweeps.
+  std::uint64_t shuffle_device_read_ops = 0;
+  std::uint64_t shuffle_device_write_ops = 0;
+  std::uint64_t shuffle_device_read_bytes = 0;
+  std::uint64_t shuffle_device_write_bytes = 0;
+
   /// Streaming per-request service-latency histogram (ROB entry to
   /// retirement, shuffle charges included), the controller-level half
   /// of the tail-latency accounting. Resource-level: under the sharded
@@ -134,6 +146,10 @@ struct controller_stats {
     cpu_busy += other.cpu_busy;
     io_load_time += other.io_load_time;
     shuffle_stall_time += other.shuffle_stall_time;
+    shuffle_device_read_ops += other.shuffle_device_read_ops;
+    shuffle_device_write_ops += other.shuffle_device_write_ops;
+    shuffle_device_read_bytes += other.shuffle_device_read_bytes;
+    shuffle_device_write_bytes += other.shuffle_device_write_bytes;
     request_latency += other.request_latency;
     return *this;
   }
@@ -202,6 +218,14 @@ class controller {
   /// Zeroes the counters and restarts the total_time epoch at the
   /// current virtual time, so benches can exclude warm-up traffic.
   void reset_stats() noexcept;
+  /// Wires the storage device's counters so shuffle-period device
+  /// traffic can be told apart from online access traffic (the
+  /// shuffle_device_* stats). `stats` must outlive the controller;
+  /// null (the default) leaves those counters at zero. The convenience
+  /// ctor and the engine attach automatically.
+  void attach_device_stats(const sim::io_stats* stats) noexcept {
+    device_stats_ = stats;
+  }
   /// Requests an incremental pump should submit per scheduling round
   /// (see scheduler::round_budget).
   [[nodiscard]] std::uint64_t round_budget() const noexcept;
@@ -238,6 +262,9 @@ class controller {
   /// without one); charges the slice's device time and, when the job
   /// completes, shelters its overflow.
   void pump_shuffle_slice();
+  /// Accumulates the storage-device op/byte growth since `before` into
+  /// the shuffle_device_* counters (no-op without an attached device).
+  void charge_shuffle_device_delta(const sim::io_stats& before) noexcept;
   /// Services one hit request via the memory lane; returns its cost.
   oram::cost_split service_hit(const request& req, request_result* result);
 
@@ -263,6 +290,10 @@ class controller {
   /// with a bounded budget); its staged blocks are resident from the
   /// scheduler's point of view, like the shelter.
   std::unique_ptr<shuffle_job> shuffle_job_;
+
+  /// Storage-device counters for the shuffle/online traffic split
+  /// (attach_device_stats); null = split not measured.
+  const sim::io_stats* device_stats_ = nullptr;
 
   std::uint64_t loads_this_period_ = 0;
   std::uint64_t period_index_ = 0;

@@ -145,6 +145,9 @@ engine::engine(const horam_config& config, const sim::cpu_model& cpu,
     state->owned = std::make_unique<controller>(
         shard_config, std::move(backend), state->lane->memory, cpu,
         state->lane->rng, trace);
+    // Wire the lane's device counters so each shard controller can
+    // split its device traffic into shuffle vs online access rounds.
+    state->owned->attach_device_stats(&state->lane->storage.stats());
     state->ctrl = state->owned.get();
     state->blocks = std::move(members[s]);
     shards_.push_back(std::move(state));

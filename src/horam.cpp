@@ -11,7 +11,7 @@ namespace {
 
 /// The one canonical name list; index-aligned with all_backend_kinds.
 constexpr std::string_view kBackendNames[] = {"partitioned", "sqrt",
-                                              "partition", "path"};
+                                              "partition", "path", "ring"};
 static_assert(std::size(kBackendNames) == std::size(all_backend_kinds),
               "backend name list out of sync with all_backend_kinds");
 
@@ -28,6 +28,9 @@ std::optional<backend_kind> parse_backend_name(std::string_view name) {
   }
   if (name == "path-oram") {
     return backend_kind::path;
+  }
+  if (name == "ring-oram") {
+    return backend_kind::ring;
   }
   return std::nullopt;
 }
@@ -110,7 +113,8 @@ std::span<const std::string_view> backend_names() { return kBackendNames; }
 backend_kind backend_by_name(std::string_view name) {
   const std::optional<backend_kind> kind = parse_backend_name(name);
   expects(kind.has_value(),
-          "unknown backend name (partitioned | sqrt | partition | path)");
+          "unknown backend name "
+          "(partitioned | sqrt | partition | path | ring)");
   return *kind;
 }
 
@@ -183,7 +187,11 @@ sim::device_profile storage_profile_by_name(std::string_view name) {
   if (name == "nvme") {
     return sim::nvme();
   }
-  expects(false, "unknown storage profile (hdd | hdd-raw | ssd | nvme)");
+  if (name == "dram") {
+    return sim::dram_ddr4();
+  }
+  expects(false,
+          "unknown storage profile (hdd | hdd-raw | ssd | nvme | dram)");
   return sim::hdd_paper();
 }
 
@@ -206,6 +214,9 @@ std::unique_ptr<oram_backend> make_backend(
                                                        rng, trace, filler);
     case backend_kind::path:
       return std::make_unique<oram::path_backend>(config, device, cpu, rng,
+                                                  trace, filler, map_device);
+    case backend_kind::ring:
+      return std::make_unique<oram::ring_backend>(config, device, cpu, rng,
                                                   trace, filler, map_device);
   }
   expects(false, "unknown backend kind");
@@ -359,8 +370,44 @@ client_builder& client_builder::backend(std::string_view name) {
   const std::optional<backend_kind> kind = parse_backend_name(name);
   expects(kind.has_value(),
           "client_builder: backend() got an unknown name "
-          "(partitioned | sqrt | partition | path)");
+          "(partitioned | sqrt | partition | path | ring)");
   kind_ = *kind;
+  return *this;
+}
+
+client_builder& client_builder::ring_bucket_size(std::uint32_t z) {
+  expects(z >= 1, "client_builder: ring_bucket_size() must be >= 1");
+  config_.ring_bucket_size = z;
+  return *this;
+}
+
+client_builder& client_builder::ring_spare_slots(std::uint32_t s) {
+  expects(s >= 1, "client_builder: ring_spare_slots() must be >= 1");
+  config_.ring_spare_slots = s;
+  return *this;
+}
+
+client_builder& client_builder::ring_eviction_rate(std::uint32_t a) {
+  expects(a >= 1, "client_builder: ring_eviction_rate() must be >= 1");
+  config_.ring_eviction_rate = a;
+  return *this;
+}
+
+client_builder& client_builder::ring_xor(bool enabled) {
+  config_.ring_xor = enabled;
+  return *this;
+}
+
+client_builder& client_builder::ring_xor(std::string_view name) {
+  if (name == "on" || name == "true") {
+    config_.ring_xor = true;
+  } else if (name == "off" || name == "false") {
+    config_.ring_xor = false;
+  } else {
+    expects(false,
+            "client_builder: ring_xor() got an unknown name "
+            "(on | off | true | false)");
+  }
   return *this;
 }
 

@@ -76,8 +76,11 @@
 //                                             ├─ partitioned (§4.1.3)
 //                                             ├─ sqrt
 //                                             ├─ partition
-//                                             └─ path (Path ORAM +
-//                                                   │   recursive map)
+//                                             ├─ path (Path ORAM +
+//                                             │     recursive map)
+//                                             └─ ring (Ring ORAM: one
+//                                                   │   slot/bucket,
+//                                                   │   XOR reads)
 //                                                   └─► per-shard
 //                                                       sim devices
 #ifndef HORAM_HORAM_H
@@ -98,6 +101,7 @@
 #include "core/oram_backend.h"
 #include "oram/partition/partition_backend.h"
 #include "oram/path/path_backend.h"
+#include "oram/ring/ring_backend.h"
 #include "oram/sqrt/sqrt_backend.h"
 #include "sim/profiles.h"
 #include "workload/generators.h"
@@ -115,16 +119,22 @@ enum class backend_kind : std::uint8_t {
   /// Path ORAM tree with a recursive position map (Stefanov et al.,
   /// "Path ORAM: An Extremely Simple Oblivious RAM Protocol").
   path,
+  /// Ring ORAM tree (Ren et al., "Constants Count: Practical Improvements
+  /// to Oblivious RAM"): Z real + S dummy slots per bucket under a secret
+  /// permutation, one slot read per bucket online (XOR-combined into a
+  /// single transfer under ring_xor), deterministic reverse-lexicographic
+  /// evictions decoupled from reads, early reshuffle on count.
+  ring,
 };
 
 /// Every selectable backend, in presentation order (comparison tables,
 /// parameterised tests).
 inline constexpr backend_kind all_backend_kinds[] = {
     backend_kind::partitioned, backend_kind::sqrt, backend_kind::partition,
-    backend_kind::path};
+    backend_kind::path, backend_kind::ring};
 
 /// Human-readable backend name
-/// ("partitioned" / "sqrt" / "partition" / "path").
+/// ("partitioned" / "sqrt" / "partition" / "path" / "ring").
 [[nodiscard]] std::string_view backend_name(backend_kind kind);
 
 /// The canonical backend names, index-aligned with all_backend_kinds —
@@ -132,8 +142,9 @@ inline constexpr backend_kind all_backend_kinds[] = {
 /// adding a backend never chases hard-coded string quartets again.
 [[nodiscard]] std::span<const std::string_view> backend_names();
 
-/// Parses a backend name (canonical names plus the aliases "horam" and
-/// "path-oram"); throws contract_error on unknown names.
+/// Parses a backend name (canonical names plus the aliases "horam",
+/// "path-oram" and "ring-oram"); throws contract_error on unknown
+/// names.
 [[nodiscard]] backend_kind backend_by_name(std::string_view name);
 
 /// Every shuffle execution policy, in presentation order (comparison
@@ -187,13 +198,13 @@ inline constexpr storage::storage_layout all_storage_layouts[] = {
     std::string_view name);
 
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
-/// "ssd", "nvme". Throws contract_error on unknown names.
+/// "ssd", "nvme", "dram". Throws contract_error on unknown names.
 [[nodiscard]] sim::device_profile storage_profile_by_name(
     std::string_view name);
 
 /// Constructs one of the pluggable backends on `device`. Used by the
 /// builder; also handy for tests that drive a backend directly. The
-/// path backend places its recursive position-map chain on
+/// path and ring backends place their recursive position-map chains on
 /// `map_device` (null = share `device`; the builder passes the
 /// machine's memory device); other kinds ignore it.
 [[nodiscard]] std::unique_ptr<oram_backend> make_backend(
@@ -303,6 +314,30 @@ class client_builder {
   client_builder& logical_block_bytes(std::uint64_t bytes);
   /// Path ORAM bucket size (Z).
   client_builder& bucket_size(std::uint32_t z);
+  /// Ring ORAM real slots per bucket (the Ring paper's Z; default 16,
+  /// from the paper's proven (Z, S, A) = (16, 25, 20) tuple). Only the
+  /// ring backend reads it.
+  client_builder& ring_bucket_size(std::uint32_t z);
+  /// Ring ORAM dummy (spare) slots per bucket (S; default 25). Each
+  /// online read consumes one slot per path bucket; a bucket reshuffles
+  /// early once S slots are consumed.
+  client_builder& ring_spare_slots(std::uint32_t s);
+  /// Ring ORAM eviction rate (A; default 20): one deterministic
+  /// reverse-lexicographic path eviction every A online reads.
+  client_builder& ring_eviction_rate(std::uint32_t a);
+  /// Ring ORAM XOR-combined online reads (default on): the storage side
+  /// folds the one chosen slot per bucket into a single combined block,
+  /// so a path read costs one device transfer; off falls back to one
+  /// transfer per chosen slot.
+  client_builder& ring_xor(bool enabled);
+  /// ring_xor by name ("on" | "off" | "true" | "false"), for configs
+  /// and CLIs; throws contract_error naming this setter otherwise. The
+  /// const char* overload exists so string literals pick this parse
+  /// instead of decaying pointer-to-bool into ring_xor(true).
+  client_builder& ring_xor(std::string_view name);
+  client_builder& ring_xor(const char* name) {
+    return ring_xor(std::string_view(name));
+  }
 
   /// Which oblivious store to front (default: partitioned).
   client_builder& backend(backend_kind kind);

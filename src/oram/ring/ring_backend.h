@@ -1,0 +1,123 @@
+// Ring ORAM (Ren et al.) as an H-ORAM backend (oram_backend adapter) —
+// the one-real-block-per-bucket tree scheme behind the cacheable
+// interface.
+//
+// The layout is a storage-resident Ring ORAM tree sized for ~2N real
+// slots (≤50% utilisation over Z slots per bucket, plus S spares per
+// bucket for online reads); the client state is the stash, the trusted
+// per-slot permutation metadata, and a recursive position map
+// (recursive_position_map) whose ORAM chain lives on a separate memory
+// device. Fronted by the H-ORAM controller:
+//   * a real miss walks the recursive map for the block's leaf, then
+//     extracts it with ONE slot read per path bucket — a single
+//     XOR-combined transfer under ring_xor — the live copy moving to
+//     the controller's tree;
+//   * a dummy load performs a dummy map walk plus a dummy ring access
+//     (one unread dummy slot per bucket of a random path), so real and
+//     dummy loads are indistinguishable on both lanes;
+//   * writes ride the scheme's own deterministic machinery: every A
+//     online reads the tree evicts one reverse-lexicographic path, and
+//     buckets whose spare slots run low reshuffle early — both range
+//     operations on public schedules. The shuffle period re-installs
+//     evicted blocks into the stash (fresh uniform leaf, recorded in
+//     the map) and drains with forced deterministic evictions; blocks
+//     the drain cannot place stay sheltered in the stash.
+//
+// The adapter keeps the recursive map authoritative at the interface:
+// every load first walks the map and verifies the answer against the
+// tree's internal bookkeeping, and check_consistency() cross-audits
+// tree, stash, residency bitmap and map chain.
+#ifndef HORAM_ORAM_RING_RING_BACKEND_H
+#define HORAM_ORAM_RING_RING_BACKEND_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/oram_backend.h"
+#include "oram/common/access_trace.h"
+#include "oram/path/recursive_position_map.h"
+#include "oram/ring/ring_oram.h"
+#include "sim/cpu_model.h"
+#include "sim/device.h"
+#include "util/rng.h"
+
+namespace horam::oram {
+
+class ring_backend final : public horam::oram_backend {
+ public:
+  /// Builds the tree holding every block in [0, config.block_count);
+  /// `filler` provides initial payloads (null = zero-filled). The
+  /// recursive position map chain lives on `map_device` (null = share
+  /// `device`; the facade passes the machine's memory device). Device
+  /// statistics are reset afterwards so initialisation is not measured.
+  ring_backend(const horam_config& config, sim::block_device& device,
+               const sim::cpu_model& cpu, util::random_source& rng,
+               access_trace* trace,
+               const std::function<void(block_id,
+                                        std::span<std::uint8_t>)>* filler,
+               sim::block_device* map_device = nullptr);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ring";
+  }
+  [[nodiscard]] bool in_storage(block_id id) const override;
+  load_result load_block(block_id id) override;
+  load_result dummy_load() override;
+  /// Implemented as begin_shuffle() driven to completion in one
+  /// unbounded step, so the monolithic and incremental entry points
+  /// are interchangeable by construction.
+  horam::shuffle_cost shuffle_period(
+      std::vector<evicted_block> evicted, std::uint64_t period_index,
+      std::vector<evicted_block>& overflow_out) override;
+
+  /// Native incremental shuffle: the slice units are single stash
+  /// re-installs (fresh uniform leaf + map assign) followed by single
+  /// forced deterministic evictions, so the deamortized pipeline can
+  /// stop after any unit. Nothing is ever handed back — the stash is
+  /// the scheme's trusted holding area.
+  [[nodiscard]] std::unique_ptr<horam::shuffle_job> begin_shuffle(
+      std::vector<evicted_block> evicted,
+      std::uint64_t period_index) override;
+  [[nodiscard]] const horam::backend_stats& stats() const noexcept override {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t physical_bytes() const override;
+  [[nodiscard]] std::uint64_t control_memory_bytes() const override;
+  void check_consistency() const override;
+
+  [[nodiscard]] const ring_oram& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const recursive_position_map& map() const noexcept {
+    return *map_;
+  }
+  /// Forced evictions issued by the last shuffle period's stash drain.
+  [[nodiscard]] std::uint64_t last_drain_evictions() const noexcept {
+    return last_drain_evictions_;
+  }
+
+ private:
+  friend class ring_shuffle_job;
+
+  horam_config config_;
+  const sim::cpu_model& cpu_;
+  util::random_source& rng_;
+  access_trace* trace_;
+
+  std::unique_ptr<ring_oram> tree_;
+  std::unique_ptr<recursive_position_map> map_;
+
+  /// cached_[id] != 0 iff the live copy moved to the controller's cache.
+  std::vector<std::uint8_t> cached_;
+  std::uint64_t cached_count_ = 0;
+  std::uint64_t last_drain_evictions_ = 0;
+
+  horam::backend_stats stats_;
+  std::vector<std::uint8_t> payload_scratch_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_RING_RING_BACKEND_H

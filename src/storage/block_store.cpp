@@ -61,6 +61,19 @@ sim::sim_time block_store::write_range(std::uint64_t first,
   return device_.write(device_offset(first), count * logical_block_bytes_);
 }
 
+sim::sim_time block_store::read_xor(std::span<const std::uint64_t> slots,
+                                    std::span<std::uint8_t> out) {
+  expects(!slots.empty(), "XOR read needs at least one slot");
+  expects(out.size() >= record_bytes_, "output buffer too small");
+  std::memset(out.data(), 0, record_bytes_);
+  for (const std::uint64_t slot : slots) {
+    expects(slot < slot_count_, "slot out of range");
+    const std::uint8_t* src = data_.data() + slot * record_bytes_;
+    for (std::size_t i = 0; i < record_bytes_; ++i) out[i] ^= src[i];
+  }
+  return device_.read(device_offset(slots.front()), logical_block_bytes_);
+}
+
 std::span<const std::uint8_t> block_store::peek(std::uint64_t slot) const {
   expects(slot < slot_count_, "slot out of range");
   return {data_.data() + slot * record_bytes_, record_bytes_};

@@ -54,6 +54,15 @@ class block_store {
   sim::sim_time write_range(std::uint64_t first, std::uint64_t count,
                             std::span<const std::uint8_t> in);
 
+  /// XOR-combined read (Ring ORAM's XOR technique): the storage side
+  /// folds the listed slots together and a single combined block — the
+  /// byte-wise XOR of their records — crosses the bus into `out`
+  /// (record_bytes long). Charges one device read of one logical block
+  /// regardless of how many slots are folded; the caller recovers the
+  /// one real record by XORing out the deterministic dummy encodings.
+  sim::sim_time read_xor(std::span<const std::uint64_t> slots,
+                         std::span<std::uint8_t> out);
+
   /// Direct read-only view of a stored record (no device time charged;
   /// for tests and integrity checks only).
   [[nodiscard]] std::span<const std::uint8_t> peek(std::uint64_t slot) const;

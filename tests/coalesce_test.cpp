@@ -632,6 +632,44 @@ TEST(CoalesceObliviousness, RoundShapeStaysAtThePublicCap) {
   }
 }
 
+TEST(CoalesceObliviousness, RingHotSetCollapsesToOneAccessPerRound) {
+  // Coalescing composes with the ring backend: a batch hammering one
+  // block retires through a single physical access (one one-slot-per-
+  // bucket path read serves every member), while the bus shape stays
+  // pinned at the public round cap — the adversary sees identical
+  // padded rounds whether 1 or 12 requests merged.
+  client oram = coalesce_builder(1, 91)
+                    .backend(backend_kind::ring)
+                    .coalescing(true)
+                    .trace(true)
+                    .build();
+  constexpr std::uint64_t kRounds = 20;
+  constexpr std::uint64_t kBatch = 12;
+  for (std::uint64_t round = 0; round < kRounds; ++round) {
+    const block_id hot = static_cast<block_id>(round % 4);
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      oram.submit(read_of(hot));
+    }
+    oram.drain(nullptr);
+  }
+
+  const engine_stats& router = oram.eng().router_stats();
+  EXPECT_EQ(router.real_requests, kRounds * kBatch);
+  EXPECT_EQ(router.physical_accesses, kRounds)
+      << "each duplicate batch must collapse to one access";
+  EXPECT_EQ(router.coalesced_requests, kRounds * (kBatch - 1));
+
+  const std::uint32_t cap = oram.eng().round_cap();
+  ASSERT_GT(cap, 0u);
+  const auto& log = oram.eng().round_log();
+  ASSERT_GT(log.size(), 0u);
+  for (std::size_t round = 0; round < log.size(); ++round) {
+    ASSERT_EQ(log[round].size(), 1u);
+    ASSERT_EQ(log[round][0], cap) << "round " << round;
+  }
+  ASSERT_NO_THROW(oram.eng().shard(0).backend().check_consistency());
+}
+
 TEST(CoalesceObliviousness, SkewIsInvisibleOnPerShardBusTraces) {
   // Zipfian ~1.1 vs uniform of the same length through two identically
   // configured coalescing machines: the per-shard storage position

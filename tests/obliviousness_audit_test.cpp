@@ -1,4 +1,4 @@
-// Statistical obliviousness audit: the access traces of all four
+// Statistical obliviousness audit: the access traces of all five
 // backends are checked for (a) uniformity of the bus-visible positions
 // they touch and (b) workload-independence of the position
 // distribution under the async service scheduler. Negative controls
@@ -10,7 +10,11 @@
 //   * path — the leaf of every path access (buckets are hit with the
 //     fixed, non-uniform marginal any tree walk induces, so the
 //     uniformity claim lives at the leaf level; the bucket stream is
-//     still checked for workload-independence).
+//     still checked for workload-independence);
+//   * ring — the leaf of every online path read (uniformity), plus the
+//     in-bucket slot index of every chosen slot, which exposes the
+//     per-bucket permutation: its distribution must not depend on the
+//     workload (real hits and dummy covers must blend).
 //
 // All randomness derives from the logged HORAM_TEST_SEED
 // (tests/test_support.h): a CI failure reproduces locally by exporting
@@ -217,6 +221,14 @@ void uniform_positions_of(const oram_backend& backend,
     stream.universe = sqrt_store->total_slots();
     return;
   }
+  if (const auto* ring = dynamic_cast<const oram::ring_backend*>(&backend)) {
+    // Like path: the uniformity claim lives at the leaf level (slot
+    // reads within a bucket follow the secret permutation, audited
+    // separately for workload-independence below).
+    stream.universe = ring->tree().config().leaf_count;
+    stream.positions = analysis::path_access_leaves(trace, stream.universe);
+    return;
+  }
   const auto* partition =
       dynamic_cast<const oram::partition_backend*>(&backend);
   ASSERT_NE(partition, nullptr);
@@ -385,6 +397,59 @@ TEST_P(BackendWorkloadIndependence, StoragePositionsMatchAcrossWorkloads) {
       << report.ks_threshold << "), chi2 " << report.chi_square
       << " (<= " << report.chi_threshold << ") over " << report.samples_a
       << " vs " << report.samples_b << " samples";
+}
+
+// Ring-specific: the in-bucket slot index of every online slot read is
+// the adversary's view of the per-bucket permutation. A real hit reads
+// the target's permuted slot, a cover reads a random unread dummy —
+// if the two had different index distributions, a hotspot workload
+// (many real hits on few blocks) would be distinguishable from a
+// uniform sweep. Audit the index streams of both workloads for
+// equality.
+TEST(RingObliviousness, PermutedSlotIndicesAreWorkloadIndependent) {
+  workload::stream_config config;
+  config.request_count = 1500;
+  config.block_count = kBlocks;
+  config.write_fraction = 0.3;
+  config.payload_bytes = kPayload;
+
+  util::pcg64 gen_a(test::seed(241));
+  util::pcg64 gen_b(test::seed(243));
+  const std::vector<request> hot =
+      workload::hotspot(gen_a, config, /*hot_probability=*/0.9,
+                        /*hot_region_fraction=*/0.05);
+  const std::vector<request> flat = workload::uniform(gen_b, config);
+
+  const oram::access_trace trace_a =
+      run_service_workload(backend_kind::ring, hot, 245);
+  const oram::access_trace trace_b =
+      run_service_workload(backend_kind::ring, flat, 247);
+
+  // At this universe the recursive map resolves directly from trusted
+  // memory, so every storage_read_slot event is a ring tree online
+  // read; fold the global slot down to its in-bucket index.
+  const horam_config defaults;
+  const std::uint64_t slots_per_bucket =
+      defaults.ring_bucket_size + defaults.ring_spare_slots;
+  std::vector<std::uint64_t> indices_a;
+  std::vector<std::uint64_t> indices_b;
+  for (const std::uint64_t slot : analysis::storage_read_positions(trace_a)) {
+    indices_a.push_back(slot % slots_per_bucket);
+  }
+  for (const std::uint64_t slot : analysis::storage_read_positions(trace_b)) {
+    indices_b.push_back(slot % slots_per_bucket);
+  }
+  ASSERT_GT(indices_a.size(), 500u);
+  ASSERT_GT(indices_b.size(), 500u);
+
+  const analysis::equality_report report =
+      analysis::audit_distribution_equality(indices_a, indices_b,
+                                            slots_per_bucket);
+  EXPECT_TRUE(report.passed())
+      << "ring slot indices: ks " << report.ks << " (<= "
+      << report.ks_threshold << "), chi2 " << report.chi_square << " (<= "
+      << report.chi_threshold << ") over " << report.samples_a << " vs "
+      << report.samples_b << " samples";
 }
 
 }  // namespace

@@ -339,6 +339,58 @@ TEST_P(DefaultLayoutIsFlat, TracesMatchBitForBit) {
   }
 }
 
+// The page layout is a tree-bucket concept: backends without a bucket
+// tree on the storage lane (sqrt, partition) must ignore layout(page)
+// entirely — identical results, clocks and bus traces vs flat. Guards
+// against the knob silently perturbing a scheme it doesn't apply to.
+class PageLayoutInert : public ::testing::TestWithParam<backend_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    NonTreeBackends, PageLayoutInert,
+    ::testing::Values(backend_kind::sqrt, backend_kind::partition),
+    [](const ::testing::TestParamInfo<backend_kind>& info) {
+      return std::string(backend_name(info.param));
+    });
+
+TEST_P(PageLayoutInert, PageTraceMatchesFlatBitForBit) {
+  const backend_kind kind = GetParam();
+  client flat = layout_builder(kind, 1, 317)
+                    .layout("flat")
+                    .trace(true)
+                    .build();
+  client page = layout_builder(kind, 1, 317)
+                    .layout("page")
+                    .trace(true)
+                    .build();
+
+  const std::vector<request> stream =
+      mixed_stream(300, 0.3, test::seed(318));
+  std::vector<request_result> flat_results;
+  std::vector<request_result> page_results;
+  flat.run(stream, &flat_results);
+  page.run(stream, &page_results);
+
+  ASSERT_EQ(flat_results.size(), page_results.size());
+  for (std::size_t i = 0; i < flat_results.size(); ++i) {
+    EXPECT_EQ(flat_results[i].completion_time,
+              page_results[i].completion_time)
+        << "request " << i;
+    EXPECT_EQ(flat_results[i].read_data, page_results[i].read_data);
+  }
+  EXPECT_EQ(flat.now(), page.now());
+
+  const oram::access_trace* a = flat.eng().shard_trace(0);
+  const oram::access_trace* b = page.eng().shard_trace(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    ASSERT_EQ(a->events()[i].kind, b->events()[i].kind) << "event " << i;
+    ASSERT_EQ(a->events()[i].a, b->events()[i].a);
+    ASSERT_EQ(a->events()[i].b, b->events()[i].b);
+  }
+}
+
 // ------------------------------------------------ device-op reduction
 
 std::uint64_t device_ops(client& oram) {
