@@ -76,7 +76,7 @@ bench_options parse_bench_args(int argc, char** argv) {
     } else if (arg == "--profile") {
       if (i + 1 >= argc) {
         std::cerr << "--profile needs a name "
-                     "(hdd | hdd-raw | ssd | nvme | dram)\n";
+                     "(hdd | hdd-raw | ssd | nvme | net-remote | dram)\n";
         std::exit(2);
       }
       options.profile = argv[++i];
@@ -84,7 +84,8 @@ bench_options parse_bench_args(int argc, char** argv) {
         (void)storage_profile_by_name(options.profile);
       } catch (const contract_error&) {
         std::cerr << "--profile got '" << options.profile
-                  << "' (supported: hdd hdd-raw ssd nvme dram)\n";
+                  << "' (supported: hdd hdd-raw ssd nvme net-remote "
+                     "dram)\n";
         std::exit(2);
       }
     } else {
@@ -190,6 +191,15 @@ std::string json_fields(const system_run& run) {
       << run.shuffle_device_read_bytes
       << ", \"shuffle_device_write_bytes\": "
       << run.shuffle_device_write_bytes
+      << ", \"device_round_trips\": " << run.device_round_trips
+      << ", \"shuffle_device_round_trips\": "
+      << run.shuffle_device_round_trips
+      << ", \"online_round_trips\": " << run.online_round_trips()
+      << ", \"round_trips_per_request\": "
+      << json_number(run.requests > 0
+                         ? static_cast<double>(run.online_round_trips()) /
+                               static_cast<double>(run.requests)
+                         : 0.0)
       << ", \"online_device_ops\": " << run.online_device_ops()
       << ", \"online_device_bytes\": " << run.online_device_bytes()
       << ", \"host_seconds\": " << json_number(run.host_seconds)
@@ -262,11 +272,13 @@ system_run run_horam(
     run.device_write_ops += device.write_ops;
     run.device_read_bytes += device.bytes_read;
     run.device_write_bytes += device.bytes_written;
+    run.device_round_trips += device.round_trips;
   }
   run.shuffle_device_read_ops = stats.shuffle_device_read_ops;
   run.shuffle_device_write_ops = stats.shuffle_device_write_ops;
   run.shuffle_device_read_bytes = stats.shuffle_device_read_bytes;
   run.shuffle_device_write_bytes = stats.shuffle_device_write_bytes;
+  run.shuffle_device_round_trips = stats.shuffle_device_round_trips;
   run.latency_p50 = stats.request_latency.p50();
   run.latency_p95 = stats.request_latency.p95();
   run.latency_p99 = stats.request_latency.p99();
@@ -344,6 +356,7 @@ system_run run_tree_top_path(const dataset& data,
   run.device_write_ops = storage_device.stats().write_ops;
   run.device_read_bytes = storage_device.stats().bytes_read;
   run.device_write_bytes = storage_device.stats().bytes_written;
+  run.device_round_trips = storage_device.stats().round_trips;
   run.wall_seconds = seconds_since(stream_start);
   run.host_seconds = seconds_since(start);
   return run;

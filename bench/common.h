@@ -76,6 +76,13 @@ struct system_run {
   std::uint64_t shuffle_device_write_ops = 0;
   std::uint64_t shuffle_device_read_bytes = 0;
   std::uint64_t shuffle_device_write_bytes = 0;
+  /// Dependency-aware request/response exchanges with the storage
+  /// devices (sim::io_stats::round_trips, summed over shard lanes) and
+  /// the shuffle machinery's share of them — what the hier backend's
+  /// batched probes collapse to ≈1 per request while a recursive map
+  /// walk pays one dependent trip per level.
+  std::uint64_t device_round_trips = 0;
+  std::uint64_t shuffle_device_round_trips = 0;
 
   /// Device ops / bytes of the access rounds only (totals minus the
   /// shuffle share) — the cost an interactive request actually waits
@@ -93,6 +100,14 @@ struct system_run {
     const std::uint64_t shuffle =
         shuffle_device_read_bytes + shuffle_device_write_bytes;
     return total > shuffle ? total - shuffle : 0;
+  }
+  /// Round trips of the access rounds only (total minus the shuffle
+  /// share) — the latency-critical chain an interactive request waits
+  /// on. Saturating like the helpers above.
+  [[nodiscard]] std::uint64_t online_round_trips() const {
+    return device_round_trips > shuffle_device_round_trips
+               ? device_round_trips - shuffle_device_round_trips
+               : 0;
   }
 };
 
@@ -155,8 +170,8 @@ struct bench_options {
   /// still win when they set the runtime themselves.
   std::uint32_t threads = 0;
   /// Restrict profile-sweeping benches to one storage profile
-  /// (hdd | hdd-raw | ssd | nvme | dram); empty sweeps the bench's
-  /// own default list. Validated at parse time.
+  /// (hdd | hdd-raw | ssd | nvme | net-remote | dram); empty sweeps
+  /// the bench's own default list. Validated at parse time.
   std::string profile;
   /// Override the per-run request count; 0 keeps the bench's
   /// small/full defaults.

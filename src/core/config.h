@@ -141,6 +141,28 @@ struct horam_config {
   /// to per-slot reads (same trace shape, one op per chosen slot).
   bool ring_xor = true;
 
+  /// Hierarchical backend (oram/hier/): geometric growth factor between
+  /// consecutive levels (level i+1 holds hier_fanout times the real
+  /// capacity of level i). Larger fan-outs mean fewer levels — fewer
+  /// probes per access — at the price of bigger, rarer merges.
+  std::uint32_t hier_fanout = 4;
+  /// Dummy budget per level as a fraction of its real capacity: level i
+  /// is refreshed (re-permuted in place) after ceil(rate * r_i) probes,
+  /// so a fresh unprobed slot always exists. The schedule depends only
+  /// on the access count — public by design.
+  double hier_rebuild_rate = 1.0;
+  /// Bits per entry of the trusted succinct index (level tag + slot).
+  /// 0 derives the minimum from the geometry; larger values reserve
+  /// headroom (the entry is rejected if it cannot hold the geometry).
+  std::uint32_t hier_index_bits = 0;
+
+  /// Places the recursive position map chain of the tree backends
+  /// (path, ring) on the storage device instead of the memory device —
+  /// the honest client/server wiring, where each map level is a
+  /// dependent storage round trip. Off (default) keeps the historical
+  /// map-on-memory machine bit for bit.
+  bool map_on_storage = false;
+
   /// Recursive position map of the path backend: leaf labels packed
   /// into one map block (the compression factor per recursion level).
   std::uint64_t map_entries_per_block = 64;
@@ -202,6 +224,11 @@ struct horam_config {
     expects(ring_spare_slots >= 1, "ring spare slots (S) must be >= 1");
     expects(ring_eviction_rate >= 1,
             "ring eviction rate (A) must be >= 1");
+    expects(hier_fanout >= 2, "hier fan-out must be >= 2");
+    expects(hier_rebuild_rate > 0.0,
+            "hier rebuild rate must be positive");
+    expects(hier_index_bits <= 64,
+            "hier index entries are packed into 64-bit words");
     expects(map_entries_per_block >= 2,
             "map recursion needs at least two entries per block");
     expects(map_direct_threshold >= 1,

@@ -329,6 +329,8 @@ void controller::charge_shuffle_device_delta(
       device_stats_->bytes_read - before.bytes_read;
   stats_.shuffle_device_write_bytes +=
       device_stats_->bytes_written - before.bytes_written;
+  stats_.shuffle_device_round_trips +=
+      device_stats_->round_trips - before.round_trips;
 }
 
 void controller::run_shuffle_period() {

@@ -102,6 +102,11 @@ struct controller_stats {
   std::uint64_t shuffle_device_write_ops = 0;
   std::uint64_t shuffle_device_read_bytes = 0;
   std::uint64_t shuffle_device_write_bytes = 0;
+  /// Round trips (sim::io_stats::round_trips) the shuffle machinery
+  /// consumed; device total minus this is the online round-trip count —
+  /// the dependent-exchange metric the hier backend's batched probes
+  /// collapse to ≈1 per request.
+  std::uint64_t shuffle_device_round_trips = 0;
 
   /// Streaming per-request service-latency histogram (ROB entry to
   /// retirement, shuffle charges included), the controller-level half
@@ -150,6 +155,7 @@ struct controller_stats {
     shuffle_device_write_ops += other.shuffle_device_write_ops;
     shuffle_device_read_bytes += other.shuffle_device_read_bytes;
     shuffle_device_write_bytes += other.shuffle_device_write_bytes;
+    shuffle_device_round_trips += other.shuffle_device_round_trips;
     request_latency += other.request_latency;
     return *this;
   }

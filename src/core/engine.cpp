@@ -721,7 +721,21 @@ sim::block_device& engine::shard_storage(std::uint32_t index) {
   return shards_[index]->lane->storage;
 }
 
+const sim::block_device& engine::shard_storage(std::uint32_t index) const {
+  expects(index < shards_.size(), "shard index out of range");
+  expects(shards_[index]->lane != nullptr,
+          "external-controller engines own no device lane");
+  return shards_[index]->lane->storage;
+}
+
 sim::block_device& engine::shard_memory(std::uint32_t index) {
+  expects(index < shards_.size(), "shard index out of range");
+  expects(shards_[index]->lane != nullptr,
+          "external-controller engines own no device lane");
+  return shards_[index]->lane->memory;
+}
+
+const sim::block_device& engine::shard_memory(std::uint32_t index) const {
   expects(index < shards_.size(), "shard index out of range");
   expects(shards_[index]->lane != nullptr,
           "external-controller engines own no device lane");

@@ -260,7 +260,11 @@ class engine {
   /// The shard's device lane (null device accessors are invalid for the
   /// external-controller shim, which owns no lane).
   [[nodiscard]] sim::block_device& shard_storage(std::uint32_t index);
+  [[nodiscard]] const sim::block_device& shard_storage(
+      std::uint32_t index) const;
   [[nodiscard]] sim::block_device& shard_memory(std::uint32_t index);
+  [[nodiscard]] const sim::block_device& shard_memory(
+      std::uint32_t index) const;
   /// The shard's bus trace (null when tracing is off).
   [[nodiscard]] const oram::access_trace* shard_trace(
       std::uint32_t index) const;

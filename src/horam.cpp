@@ -10,8 +10,8 @@ namespace horam {
 namespace {
 
 /// The one canonical name list; index-aligned with all_backend_kinds.
-constexpr std::string_view kBackendNames[] = {"partitioned", "sqrt",
-                                              "partition", "path", "ring"};
+constexpr std::string_view kBackendNames[] = {
+    "partitioned", "sqrt", "partition", "path", "ring", "hier"};
 static_assert(std::size(kBackendNames) == std::size(all_backend_kinds),
               "backend name list out of sync with all_backend_kinds");
 
@@ -114,7 +114,7 @@ backend_kind backend_by_name(std::string_view name) {
   const std::optional<backend_kind> kind = parse_backend_name(name);
   expects(kind.has_value(),
           "unknown backend name "
-          "(partitioned | sqrt | partition | path | ring)");
+          "(partitioned | sqrt | partition | path | ring | hier)");
   return *kind;
 }
 
@@ -187,11 +187,15 @@ sim::device_profile storage_profile_by_name(std::string_view name) {
   if (name == "nvme") {
     return sim::nvme();
   }
+  if (name == "net-remote") {
+    return sim::net_remote();
+  }
   if (name == "dram") {
     return sim::dram_ddr4();
   }
   expects(false,
-          "unknown storage profile (hdd | hdd-raw | ssd | nvme | dram)");
+          "unknown storage profile (hdd | hdd-raw | ssd | nvme | "
+          "net-remote | dram)");
   return sim::hdd_paper();
 }
 
@@ -217,6 +221,9 @@ std::unique_ptr<oram_backend> make_backend(
                                                   trace, filler, map_device);
     case backend_kind::ring:
       return std::make_unique<oram::ring_backend>(config, device, cpu, rng,
+                                                  trace, filler, map_device);
+    case backend_kind::hier:
+      return std::make_unique<oram::hier_backend>(config, device, cpu, rng,
                                                   trace, filler, map_device);
   }
   expects(false, "unknown backend kind");
@@ -406,6 +413,44 @@ client_builder& client_builder::ring_xor(std::string_view name) {
   } else {
     expects(false,
             "client_builder: ring_xor() got an unknown name "
+            "(on | off | true | false)");
+  }
+  return *this;
+}
+
+client_builder& client_builder::hier_fanout(std::uint32_t g) {
+  expects(g >= 2, "client_builder: hier_fanout() must be >= 2");
+  config_.hier_fanout = g;
+  return *this;
+}
+
+client_builder& client_builder::hier_rebuild_rate(double rate) {
+  expects(rate > 0.0,
+          "client_builder: hier_rebuild_rate() must be positive");
+  config_.hier_rebuild_rate = rate;
+  return *this;
+}
+
+client_builder& client_builder::hier_index_bits(std::uint32_t bits) {
+  expects(bits <= 64,
+          "client_builder: hier_index_bits() packs into 64-bit words");
+  config_.hier_index_bits = bits;
+  return *this;
+}
+
+client_builder& client_builder::map_on_storage(bool enabled) {
+  config_.map_on_storage = enabled;
+  return *this;
+}
+
+client_builder& client_builder::map_on_storage(std::string_view name) {
+  if (name == "on" || name == "true") {
+    config_.map_on_storage = true;
+  } else if (name == "off" || name == "false") {
+    config_.map_on_storage = false;
+  } else {
+    expects(false,
+            "client_builder: map_on_storage() got an unknown name "
             "(on | off | true | false)");
   }
   return *this;
@@ -659,8 +704,13 @@ client client_builder::build() const {
             fill_ptr = &rebased;
           }
         }
+        // map_on_storage puts the tree backends' recursive map chain on
+        // the storage lane (the honest client/server wiring, one
+        // dependent storage round trip per map level); off keeps the
+        // historical map-on-memory machine bit for bit.
         return make_backend(kind, shard_config, storage, cpu, rng, trace,
-                            fill_ptr, &memory);
+                            fill_ptr,
+                            shard_config.map_on_storage ? &storage : &memory);
       };
   state->eng = std::make_unique<engine>(config, state->cpu, factory, opts);
   return client(std::move(state), kind_);

@@ -78,9 +78,12 @@
 //                                             ├─ partition
 //                                             ├─ path (Path ORAM +
 //                                             │     recursive map)
-//                                             └─ ring (Ring ORAM: one
-//                                                   │   slot/bucket,
-//                                                   │   XOR reads)
+//                                             ├─ ring (Ring ORAM: one
+//                                             │     slot/bucket,
+//                                             │     XOR reads)
+//                                             └─ hier (succinct index,
+//                                                   │   one-round-trip
+//                                                   │   batched probes)
 //                                                   └─► per-shard
 //                                                       sim devices
 #ifndef HORAM_HORAM_H
@@ -99,6 +102,7 @@
 #include "core/fairness.h"
 #include "core/multi_user.h"
 #include "core/oram_backend.h"
+#include "oram/hier/hier_backend.h"
 #include "oram/partition/partition_backend.h"
 #include "oram/path/path_backend.h"
 #include "oram/ring/ring_backend.h"
@@ -125,16 +129,23 @@ enum class backend_kind : std::uint8_t {
   /// single transfer under ring_xor), deterministic reverse-lexicographic
   /// evictions decoupled from reads, early reshuffle on count.
   ring,
+  /// Single-round-trip hierarchical store (oram/hier/): geometric
+  /// levels of permuted slots with a trusted-memory succinct index, so
+  /// every online access ships all its per-level probes — real probe at
+  /// the resident level, fresh dummy probes elsewhere — as one batched
+  /// exchange with the device. Level merges and refreshes are streaming
+  /// range transfers behind the stepped shuffle-job API.
+  hier,
 };
 
 /// Every selectable backend, in presentation order (comparison tables,
 /// parameterised tests).
 inline constexpr backend_kind all_backend_kinds[] = {
     backend_kind::partitioned, backend_kind::sqrt, backend_kind::partition,
-    backend_kind::path, backend_kind::ring};
+    backend_kind::path, backend_kind::ring, backend_kind::hier};
 
 /// Human-readable backend name
-/// ("partitioned" / "sqrt" / "partition" / "path" / "ring").
+/// ("partitioned" / "sqrt" / "partition" / "path" / "ring" / "hier").
 [[nodiscard]] std::string_view backend_name(backend_kind kind);
 
 /// The canonical backend names, index-aligned with all_backend_kinds —
@@ -198,7 +209,8 @@ inline constexpr storage::storage_layout all_storage_layouts[] = {
     std::string_view name);
 
 /// Named storage profile lookup: "hdd" (paper-calibrated), "hdd-raw",
-/// "ssd", "nvme", "dram". Throws contract_error on unknown names.
+/// "ssd", "nvme", "net-remote", "dram". Throws contract_error on
+/// unknown names.
 [[nodiscard]] sim::device_profile storage_profile_by_name(
     std::string_view name);
 
@@ -337,6 +349,33 @@ class client_builder {
   client_builder& ring_xor(std::string_view name);
   client_builder& ring_xor(const char* name) {
     return ring_xor(std::string_view(name));
+  }
+  /// Hier backend geometric growth factor between consecutive levels
+  /// (default 4). Larger fan-outs mean fewer levels — fewer probes per
+  /// batched access — at the price of bigger, rarer merges. Only the
+  /// hier backend reads it.
+  client_builder& hier_fanout(std::uint32_t g);
+  /// Hier backend dummy budget per level as a fraction of its real
+  /// capacity (default 1.0): a level is refreshed in place after
+  /// ceil(rate * capacity) probes.
+  client_builder& hier_rebuild_rate(double rate);
+  /// Bits per entry of the hier backend's trusted succinct index
+  /// (default 0 = derive the minimum from the geometry; larger values
+  /// reserve headroom and are rejected if they cannot hold it).
+  client_builder& hier_index_bits(std::uint32_t bits);
+  /// Places the recursive position-map chain of the tree backends
+  /// (path, ring) on the storage device instead of the memory device —
+  /// the honest client/server wiring, where each map level is a
+  /// dependent storage round trip. Default off, bit-for-bit the
+  /// historical map-on-memory machine.
+  client_builder& map_on_storage(bool enabled);
+  /// map_on_storage by name ("on" | "off" | "true" | "false"), for
+  /// configs and CLIs; throws contract_error naming this setter
+  /// otherwise. The const char* overload exists so string literals pick
+  /// this parse instead of decaying pointer-to-bool.
+  client_builder& map_on_storage(std::string_view name);
+  client_builder& map_on_storage(const char* name) {
+    return map_on_storage(std::string_view(name));
   }
 
   /// Which oblivious store to front (default: partitioned).

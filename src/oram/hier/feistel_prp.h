@@ -1,0 +1,105 @@
+// Keyed format-preserving permutation over [0, domain).
+//
+// The hier backend needs a fresh random-looking bijection between ranks
+// and level slots at every rebuild, recomputable in both directions from
+// a small secret: forward maps the next unused dummy rank to its slot
+// during online probes, inverse maps a slot back to its rank while the
+// rebuild streams a level out in slot order. A balanced Feistel network
+// over the smallest even-bit power of two covering the domain gives both
+// directions; cycle-walking restricts it to [0, domain). The round
+// function is the codebase's keyed PRF (SipHash-2-4).
+#ifndef HORAM_ORAM_HIER_FEISTEL_PRP_H
+#define HORAM_ORAM_HIER_FEISTEL_PRP_H
+
+#include <cstdint>
+
+#include "crypto/siphash.h"
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace horam::oram {
+
+/// Invertible keyed permutation of [0, domain).
+class feistel_prp {
+ public:
+  /// An empty permutation (domain 1, identity); assign to rekey.
+  feistel_prp() = default;
+
+  feistel_prp(std::uint64_t domain, const crypto::siphash_key& key)
+      : domain_(domain), key_(key) {
+    expects(domain > 0, "permutation domain must be non-empty");
+    unsigned bits = domain == 1 ? 1 : util::ceil_log2(domain);
+    bits += bits % 2;  // balanced halves
+    if (bits == 0) {
+      bits = 2;
+    }
+    half_bits_ = bits / 2;
+  }
+
+  [[nodiscard]] std::uint64_t domain() const noexcept { return domain_; }
+
+  /// rank -> slot.
+  [[nodiscard]] std::uint64_t forward(std::uint64_t rank) const {
+    expects(rank < domain_, "rank outside the permutation domain");
+    // Cycle-walk: the Feistel pass permutes [0, 2^(2h)); iterating from
+    // inside [0, domain) must return there (the cycle revisits rank).
+    std::uint64_t v = rank;
+    do {
+      v = permute_pow2(v);
+    } while (v >= domain_);
+    return v;
+  }
+
+  /// slot -> rank.
+  [[nodiscard]] std::uint64_t inverse(std::uint64_t slot) const {
+    expects(slot < domain_, "slot outside the permutation domain");
+    std::uint64_t v = slot;
+    do {
+      v = unpermute_pow2(v);
+    } while (v >= domain_);
+    return v;
+  }
+
+ private:
+  static constexpr unsigned kRounds = 6;
+
+  [[nodiscard]] std::uint64_t round_value(unsigned round,
+                                          std::uint64_t half) const {
+    // Halves are at most 32 bits, so tagging the round in the top byte
+    // never collides with the data.
+    return crypto::siphash24_u64(
+        key_, (static_cast<std::uint64_t>(round) << 56) ^ half);
+  }
+
+  [[nodiscard]] std::uint64_t permute_pow2(std::uint64_t v) const {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+    std::uint64_t left = v >> half_bits_;
+    std::uint64_t right = v & mask;
+    for (unsigned round = 0; round < kRounds; ++round) {
+      const std::uint64_t next = left ^ (round_value(round, right) & mask);
+      left = right;
+      right = next;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  [[nodiscard]] std::uint64_t unpermute_pow2(std::uint64_t v) const {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+    std::uint64_t left = v >> half_bits_;
+    std::uint64_t right = v & mask;
+    for (unsigned round = kRounds; round-- > 0;) {
+      const std::uint64_t prev = right ^ (round_value(round, left) & mask);
+      right = left;
+      left = prev;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  std::uint64_t domain_ = 1;
+  unsigned half_bits_ = 1;
+  crypto::siphash_key key_{};
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_HIER_FEISTEL_PRP_H

@@ -1,0 +1,113 @@
+// Trusted-memory succinct position index of the hier backend.
+//
+// One packed bit-entry per block id: a level tag (0 = the block left
+// storage and is cached upstream; 1..L = resident level) followed by the
+// level-local slot. Because the index is trusted and consulted before
+// any device traffic, an online access knows every probe address up
+// front — the property that lets the hier backend ship all per-level
+// probes as one batched exchange (a single round trip), where a
+// recursive position map costs one dependent trip per map level.
+//
+// The entry width is ceil(log2(L + 1)) + ceil(log2(max slots per
+// level)) bits — a few bytes per hundred blocks — and the structure is
+// a flat bit array, so lookups and updates are O(1) word arithmetic.
+#ifndef HORAM_ORAM_HIER_SUCCINCT_INDEX_H
+#define HORAM_ORAM_HIER_SUCCINCT_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "oram/common/types.h"
+#include "util/contracts.h"
+
+namespace horam::oram {
+
+/// Packed id -> (level, slot) map; level 0 is the cached sentinel.
+class succinct_index {
+ public:
+  succinct_index() = default;
+
+  succinct_index(std::uint64_t universe, unsigned level_bits,
+                 unsigned slot_bits)
+      : universe_(universe),
+        level_bits_(level_bits),
+        slot_bits_(slot_bits),
+        entry_bits_(level_bits + slot_bits) {
+    expects(universe > 0, "index universe must be non-empty");
+    expects(level_bits >= 1 && slot_bits >= 1, "index fields need bits");
+    expects(entry_bits_ <= 64, "index entries are packed into 64-bit words");
+    // +1 pad word so a straddling entry's second-word touch stays in
+    // bounds.
+    words_.assign((universe * entry_bits_ + 63) / 64 + 1, 0);
+  }
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return universe_; }
+  [[nodiscard]] unsigned entry_bits() const noexcept { return entry_bits_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Resident level of `id`; 0 means cached (not on storage).
+  [[nodiscard]] std::uint32_t level_of(block_id id) const {
+    return static_cast<std::uint32_t>(raw(id) >> slot_bits_);
+  }
+
+  /// Level-local slot of `id`; meaningful only while level_of(id) != 0.
+  [[nodiscard]] std::uint64_t slot_of(block_id id) const {
+    return raw(id) & field_mask(slot_bits_);
+  }
+
+  /// Records `id` at (level, slot); level is 1-based.
+  void place(block_id id, std::uint32_t level, std::uint64_t slot) {
+    expects(level >= 1 && level <= field_mask(level_bits_),
+            "index level tag out of range");
+    expects(slot <= field_mask(slot_bits_), "index slot out of range");
+    set_raw(id, (static_cast<std::uint64_t>(level) << slot_bits_) | slot);
+  }
+
+  /// Marks `id` cached (not on storage).
+  void clear(block_id id) { set_raw(id, 0); }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t field_mask(
+      unsigned bits) noexcept {
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t raw(block_id id) const {
+    expects(id < universe_, "block id outside the index universe");
+    const std::uint64_t bit = id * entry_bits_;
+    const std::uint64_t word = bit >> 6;
+    const unsigned shift = static_cast<unsigned>(bit & 63);
+    std::uint64_t value = words_[word] >> shift;
+    if (shift + entry_bits_ > 64) {
+      value |= words_[word + 1] << (64 - shift);
+    }
+    return value & field_mask(entry_bits_);
+  }
+
+  void set_raw(block_id id, std::uint64_t value) {
+    expects(id < universe_, "block id outside the index universe");
+    const std::uint64_t bit = id * entry_bits_;
+    const std::uint64_t word = bit >> 6;
+    const unsigned shift = static_cast<unsigned>(bit & 63);
+    const std::uint64_t mask = field_mask(entry_bits_);
+    words_[word] = (words_[word] & ~(mask << shift)) | (value << shift);
+    if (shift + entry_bits_ > 64) {
+      const unsigned spill = 64 - shift;
+      words_[word + 1] =
+          (words_[word + 1] & ~(mask >> spill)) | (value >> spill);
+    }
+  }
+
+  std::uint64_t universe_ = 0;
+  unsigned level_bits_ = 0;
+  unsigned slot_bits_ = 0;
+  unsigned entry_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace horam::oram
+
+#endif  // HORAM_ORAM_HIER_SUCCINCT_INDEX_H

@@ -268,6 +268,12 @@ cost_split path_oram::path_access(
     const std::function<void(std::span<std::uint8_t>)>* updater,
     bool extract_requested) {
   cost_split cost;
+  // One access = one dependent exchange per lane: the whole path is
+  // read, served from the stash and written back before the caller can
+  // issue anything that depends on the result. A recursive map walk of
+  // k levels is k of these scopes, so it counts k round trips.
+  sim::trip_scope round_trip(&memory_device_,
+                             io_store_ ? &io_store_->device() : nullptr);
   trace(trace_, event_kind::memory_path_access, leaf, config_.leaf_count);
 
   const std::uint64_t z = config_.bucket_size;
@@ -448,6 +454,9 @@ cost_split path_oram::install(block_id id,
 
 cost_split path_oram::evict_all(std::vector<evicted_block>& out) {
   cost_split cost;
+  // The whole-tree sweep is one streamed batch on each lane.
+  sim::trip_scope round_trip(&memory_device_,
+                             io_store_ ? &io_store_->device() : nullptr);
   ++stats_.evictions;
   out.clear();
 
@@ -659,6 +668,8 @@ void path_oram::check_consistency() const {
 
 cost_split path_oram::reset() {
   cost_split cost;
+  sim::trip_scope round_trip(&memory_device_,
+                             io_store_ ? &io_store_->device() : nullptr);
   const std::size_t record_bytes = codec_.record_bytes();
 
   std::vector<std::uint8_t> chunk;
@@ -712,6 +723,8 @@ cost_split path_oram::initialize_full(
   expects(count <= positions_.universe(), "more blocks than the universe");
   expects(count <= capacity_blocks(), "tree cannot hold that many blocks");
   cost_split cost;
+  sim::trip_scope round_trip(&memory_device_,
+                             io_store_ ? &io_store_->device() : nullptr);
 
   // Assign leaves and group ids by leaf (counting sort).
   std::vector<leaf_id> leaves(count);

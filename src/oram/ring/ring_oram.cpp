@@ -232,6 +232,10 @@ cost_split ring_oram::extract(block_id id, std::span<std::uint8_t> read_out) {
   expects(read_out.size() >= config_.payload_bytes,
           "read buffer too small");
   ++stats_.real_accesses;
+  // One access = one dependent exchange: the slot choices are known up
+  // front from trusted metadata, and any eviction/reshuffle the access
+  // triggers rides the same public schedule.
+  sim::trip_scope round_trip(&io_store_->device());
 
   // No remap: the block leaves the tree, so its (about to be read) path
   // is never correlated with a future access.
@@ -262,6 +266,7 @@ cost_split ring_oram::extract(block_id id, std::span<std::uint8_t> read_out) {
 
 cost_split ring_oram::dummy_access() {
   ++stats_.dummy_accesses;
+  sim::trip_scope round_trip(&io_store_->device());
   const leaf_id leaf = util::uniform_below(rng_, config_.leaf_count);
   bool found = false;
   return path_read(leaf, dummy_block_id, found);
@@ -288,7 +293,10 @@ cost_split ring_oram::install(block_id id,
   return cost;
 }
 
-cost_split ring_oram::force_evict() { return evict_path(); }
+cost_split ring_oram::force_evict() {
+  sim::trip_scope round_trip(&io_store_->device());
+  return evict_path();
+}
 
 void ring_oram::compose_bucket(
     std::uint64_t bucket, std::span<const block_id> ids,
@@ -473,6 +481,7 @@ cost_split ring_oram::initialize_full(
   expects(count <= positions_.universe(), "more blocks than the universe");
   expects(count <= capacity_blocks(), "tree cannot hold that many blocks");
   cost_split cost;
+  sim::trip_scope round_trip(&io_store_->device());
 
   // Assign leaves and group ids by leaf (counting sort).
   std::vector<leaf_id> leaves(count);

@@ -31,6 +31,7 @@ sim_time block_device::read(std::uint64_t offset, std::uint64_t size) {
   head_valid_ = true;
 
   ++stats_.read_ops;
+  count_trip();
   if (sequential) {
     ++stats_.sequential_read_ops;
   }
@@ -50,6 +51,7 @@ sim_time block_device::write(std::uint64_t offset, std::uint64_t size) {
   head_valid_ = true;
 
   ++stats_.write_ops;
+  count_trip();
   if (sequential) {
     ++stats_.sequential_write_ops;
   }

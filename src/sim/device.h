@@ -54,13 +54,73 @@ class block_device {
   /// (models an intervening workload or power cycle).
   void invalidate_head() noexcept { head_valid_ = false; }
 
+  /// Opens a round-trip scope: every read/write until the matching
+  /// end_trip() counts as one request/response exchange with the device
+  /// (io_stats::round_trips), because nothing in the batch depends on
+  /// another element's result. Scopes nest — inner scopes fold into the
+  /// outermost — and an empty scope counts nothing. Scopes change
+  /// statistics only, never timing, so wrapping existing code is
+  /// bit-for-bit neutral on the simulated clock.
+  void begin_trip() noexcept {
+    if (trip_depth_++ == 0) {
+      trip_ops_ = false;
+    }
+  }
+  void end_trip() noexcept {
+    if (trip_depth_ > 0 && --trip_depth_ == 0 && trip_ops_) {
+      ++stats_.round_trips;
+    }
+  }
+
  private:
   sim_time transfer_time(std::uint64_t size, double bytes_per_second) const;
+
+  /// Called by read()/write(): outside any scope each operation is its
+  /// own dependent exchange; inside a scope the batch counts once.
+  void count_trip() noexcept {
+    if (trip_depth_ == 0) {
+      ++stats_.round_trips;
+    } else {
+      trip_ops_ = true;
+    }
+  }
 
   device_profile profile_;
   std::uint64_t head_position_ = 0;
   bool head_valid_ = false;
+  std::uint32_t trip_depth_ = 0;
+  bool trip_ops_ = false;
   io_stats stats_;
+};
+
+/// RAII round-trip scope over up to two devices (a scheme may touch its
+/// memory and storage lanes in one batched exchange). Null devices are
+/// ignored, so callers can pass optional lanes unconditionally.
+class trip_scope {
+ public:
+  explicit trip_scope(block_device* a, block_device* b = nullptr) noexcept
+      : a_(a), b_(b) {
+    if (a_ != nullptr) {
+      a_->begin_trip();
+    }
+    if (b_ != nullptr) {
+      b_->begin_trip();
+    }
+  }
+  ~trip_scope() {
+    if (a_ != nullptr) {
+      a_->end_trip();
+    }
+    if (b_ != nullptr) {
+      b_->end_trip();
+    }
+  }
+  trip_scope(const trip_scope&) = delete;
+  trip_scope& operator=(const trip_scope&) = delete;
+
+ private:
+  block_device* a_;
+  block_device* b_;
 };
 
 }  // namespace horam::sim

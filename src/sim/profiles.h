@@ -52,6 +52,19 @@ inline device_profile nvme() {
                         .per_op_time = 2 * util::microseconds};
 }
 
+/// RTT-dominated remote block store (the client/server deployment the
+/// paper targets): every command pays a ~200 us network round trip, and
+/// bandwidth is a modest datacenter link, so the number of dependent
+/// exchanges — io_stats::round_trips — dominates the bill, not bytes.
+/// No seek term: a remote object store has no head to reposition.
+inline device_profile net_remote() {
+  return device_profile{.name = "net-remote",
+                        .seek_time = 0,
+                        .read_bytes_per_second = 120e6,
+                        .write_bytes_per_second = 120e6,
+                        .per_op_time = 200 * util::microseconds};
+}
+
 /// DDR4-class main memory as a "device" (the in-memory ORAM layer).
 inline device_profile dram_ddr4() {
   return device_profile{.name = "dram-ddr4",

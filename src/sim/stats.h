@@ -21,6 +21,14 @@ struct io_stats {
   std::uint64_t sequential_write_ops = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  /// Dependency-aware request/response exchanges with the device: an
+  /// operation issued outside a trip scope counts one, a trip scope
+  /// (block_device::begin_trip/end_trip) folds every operation it
+  /// encloses into exactly one — so a batched scatter read is 1 trip
+  /// while a k-level dependent map walk is k. The metric that dominates
+  /// once per-operation latency (an NVMe queue, a network RTT), not
+  /// bandwidth, is the bottleneck.
+  std::uint64_t round_trips = 0;
   sim_time busy_time = 0;
 
   [[nodiscard]] std::uint64_t total_ops() const noexcept {

@@ -74,6 +74,20 @@ sim::sim_time block_store::read_xor(std::span<const std::uint64_t> slots,
   return device_.read(device_offset(slots.front()), logical_block_bytes_);
 }
 
+sim::sim_time block_store::read_scatter(
+    std::span<const std::uint64_t> slots, std::span<std::uint8_t> out) {
+  expects(!slots.empty(), "scatter read needs at least one slot");
+  expects(out.size() >= slots.size() * record_bytes_,
+          "output buffer too small");
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    expects(slots[i] < slot_count_, "slot out of range");
+    std::memcpy(out.data() + i * record_bytes_,
+                data_.data() + slots[i] * record_bytes_, record_bytes_);
+  }
+  return device_.read(device_offset(slots.front()),
+                      slots.size() * logical_block_bytes_);
+}
+
 std::span<const std::uint8_t> block_store::peek(std::uint64_t slot) const {
   expects(slot < slot_count_, "slot out of range");
   return {data_.data() + slot * record_bytes_, record_bytes_};

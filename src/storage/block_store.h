@@ -63,6 +63,16 @@ class block_store {
   sim::sim_time read_xor(std::span<const std::uint64_t> slots,
                          std::span<std::uint8_t> out);
 
+  /// Batched scatter read (the hier backend's one-round-trip probe):
+  /// the storage side gathers the listed slots — one per level, known up
+  /// front from the trusted index, no element depending on another's
+  /// result — and ships them back in a single exchange. Each record
+  /// lands at `out[i * record_bytes]`; charges one device read moving
+  /// slots.size() logical blocks (one command, k blocks of payload,
+  /// one round trip).
+  sim::sim_time read_scatter(std::span<const std::uint64_t> slots,
+                             std::span<std::uint8_t> out);
+
   /// Direct read-only view of a stored record (no device time charged;
   /// for tests and integrity checks only).
   [[nodiscard]] std::span<const std::uint8_t> peek(std::uint64_t slot) const;

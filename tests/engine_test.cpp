@@ -495,6 +495,7 @@ TEST(EngineStats, ResetStatsClearsEveryLaneCounter) {
       EXPECT_EQ(s.memory_busy, 0) << which;
       EXPECT_EQ(s.cpu_busy, 0) << which;
       EXPECT_EQ(s.io_load_time, 0) << which;
+      EXPECT_EQ(s.shuffle_device_round_trips, 0u) << which;
     };
     expect_zero(oram.stats(), "aggregate, " + std::to_string(shards));
     for (std::uint32_t s = 0; s < oram.eng().shard_count(); ++s) {
@@ -504,6 +505,12 @@ TEST(EngineStats, ResetStatsClearsEveryLaneCounter) {
       EXPECT_EQ(oram.eng().shard_storage(s).stats().total_ops(), 0u)
           << which;
       EXPECT_EQ(oram.eng().shard_memory(s).stats().total_ops(), 0u)
+          << which;
+      // round_trips is not part of total_ops(): check it explicitly on
+      // both device lanes of every shard.
+      EXPECT_EQ(oram.eng().shard_storage(s).stats().round_trips, 0u)
+          << which;
+      EXPECT_EQ(oram.eng().shard_memory(s).stats().round_trips, 0u)
           << which;
     }
     EXPECT_EQ(oram.eng().router_stats().rounds, 0u);
@@ -517,6 +524,46 @@ TEST(EngineStats, ResetStatsClearsEveryLaneCounter) {
     EXPECT_EQ(oram.stats().requests, stream.size());
     EXPECT_GT(oram.stats().total_time, 0);
   }
+  }
+}
+
+/// The online/shuffle round-trip split: a shard's
+/// shuffle_device_round_trips is the shuffle machinery's share of that
+/// lane's device round trips, so online (total minus shuffle) plus the
+/// shuffle share must reconstruct the device counter — per lane and
+/// through the aggregate's operator+=.
+TEST(EngineStats, RoundTripSplitSumsToDeviceTotal) {
+  for (const char* backend : {"path", "hier"}) {
+    for (const std::uint32_t shards : {1u, 4u}) {
+      client oram = engine_builder(shards, 47).backend(backend).build();
+      util::pcg64 gen(test::seed(48));
+      std::vector<request> stream(400);
+      for (request& req : stream) {
+        req.op = oram::op_kind::read;
+        req.id = util::uniform_below(gen, kBlocks);
+      }
+      oram.run(stream);
+
+      std::uint64_t device_total = 0;
+      std::uint64_t shuffle_total = 0;
+      for (std::uint32_t s = 0; s < oram.eng().shard_count(); ++s) {
+        const std::string which = std::string(backend) + ", shard " +
+                                  std::to_string(s) + "/" +
+                                  std::to_string(shards);
+        const std::uint64_t lane =
+            oram.eng().shard_storage(s).stats().round_trips;
+        const std::uint64_t shuffle =
+            oram.eng().shard(s).stats().shuffle_device_round_trips;
+        EXPECT_LE(shuffle, lane) << which;
+        device_total += lane;
+        shuffle_total += shuffle;
+      }
+      EXPECT_EQ(oram.stats().shuffle_device_round_trips, shuffle_total);
+      // Enough random traffic that both halves of the split are live:
+      // shuffles fired, and the access rounds touched the device.
+      EXPECT_GT(shuffle_total, 0u) << backend;
+      EXPECT_GT(device_total, shuffle_total) << backend;
+    }
   }
 }
 

@@ -1,4 +1,4 @@
-// Statistical obliviousness audit: the access traces of all five
+// Statistical obliviousness audit: the access traces of all six
 // backends are checked for (a) uniformity of the bus-visible positions
 // they touch and (b) workload-independence of the position
 // distribution under the async service scheduler. Negative controls
@@ -14,7 +14,12 @@
 //   * ring — the leaf of every online path read (uniformity), plus the
 //     in-bucket slot index of every chosen slot, which exposes the
 //     per-bucket permutation: its distribution must not depend on the
-//     workload (real hits and dummy covers must blend).
+//     workload (real hits and dummy covers must blend);
+//   * hier — the level-local offset of every batched probe: real hits
+//     and dummy ranks alike are outputs of the epoch's secret
+//     permutation at never-repeated inputs, so each level's probe
+//     stream must look like draws without replacement from its slot
+//     range, on every level and regardless of the workload.
 //
 // All randomness derives from the logged HORAM_TEST_SEED
 // (tests/test_support.h): a CI failure reproduces locally by exporting
@@ -227,6 +232,24 @@ void uniform_positions_of(const oram_backend& backend,
     // separately for workload-independence below).
     stream.universe = ring->tree().config().leaf_count;
     stream.positions = analysis::path_access_leaves(trace, stream.universe);
+    return;
+  }
+  if (const auto* hier = dynamic_cast<const oram::hier_backend*>(&backend)) {
+    // Every storage_read_slot is one per-level probe. Levels have
+    // different slot counts, so the streams cannot share one axis;
+    // audit the bottom level (largest, probed by every access while
+    // active) as level-local offsets. The per-level variant below
+    // covers the rest.
+    const std::uint32_t bottom = hier->level_count();
+    const std::uint64_t base = hier->level_base(bottom);
+    const std::uint64_t slots = hier->level_slot_count(bottom);
+    for (const std::uint64_t slot :
+         analysis::storage_read_positions(trace)) {
+      if (slot >= base && slot < base + slots) {
+        stream.positions.push_back(slot - base);
+      }
+    }
+    stream.universe = slots;
     return;
   }
   const auto* partition =
@@ -447,6 +470,102 @@ TEST(RingObliviousness, PermutedSlotIndicesAreWorkloadIndependent) {
                                             slots_per_bucket);
   EXPECT_TRUE(report.passed())
       << "ring slot indices: ks " << report.ks << " (<= "
+      << report.ks_threshold << "), chi2 " << report.chi_square << " (<= "
+      << report.chi_threshold << ") over " << report.samples_a << " vs "
+      << report.samples_b << " samples";
+}
+
+// Hier-specific: the probe stream of EVERY level — not just the
+// bottom one the generic audit covers — must look uniform over that
+// level's slot range. Real hits (index-named slots) and dummy covers
+// (next unused permuted rank) have to blend: a distinguishable level
+// stream would leak which level a request's target resides on.
+TEST(HierObliviousness, PerLevelProbePositionsAreUniform) {
+  sim::block_device device{sim::hdd_paper()};
+  const sim::cpu_model cpu{sim::cpu_aesni()};
+  util::pcg64 rng(test::seed(251));
+  oram::access_trace trace;
+
+  horam_config config;
+  config.block_count = kBlocks;
+  config.memory_blocks = kMemoryBlocks;
+  config.payload_bytes = kPayload;
+  oram::hier_backend backend(config, device, cpu, rng, &trace,
+                             /*filler=*/nullptr);
+
+  util::pcg64 driver(test::seed(253));
+  drive_backend(backend, config, driver, /*periods=*/120);
+
+  const std::vector<std::uint64_t> positions =
+      analysis::storage_read_positions(trace);
+  std::uint64_t audited_levels = 0;
+  for (std::uint32_t level = 1; level <= backend.level_count(); ++level) {
+    const std::uint64_t base = backend.level_base(level);
+    const std::uint64_t slots = backend.level_slot_count(level);
+    std::vector<std::uint64_t> offsets;
+    for (const std::uint64_t slot : positions) {
+      if (slot >= base && slot < base + slots) {
+        offsets.push_back(slot - base);
+      }
+    }
+    if (offsets.size() < 500) {
+      continue;  // a rarely active level has no statistical power
+    }
+    ++audited_levels;
+    const analysis::uniformity_report report =
+        analysis::audit_uniformity(offsets, slots);
+    EXPECT_TRUE(report.passed())
+        << "hier level " << level << ": chi2 " << report.chi_square
+        << " (<= " << report.chi_threshold << "), ks " << report.ks
+        << " (<= " << report.ks_threshold << ") over " << report.samples
+        << " samples";
+  }
+  EXPECT_GE(audited_levels, 2u)
+      << "the drive never lit up enough levels to audit";
+}
+
+// Hier-specific two-workload audit, the per-level analogue of the
+// ring slot-index check: fold every probe to (level, offset) on a
+// common axis and require the hotspot and uniform streams to be
+// indistinguishable — the real/dummy blend must hold level by level,
+// not just in the bottom-level aggregate.
+TEST(HierObliviousness, LevelProbeStreamsAreWorkloadIndependent) {
+  workload::stream_config config;
+  config.request_count = 1500;
+  config.block_count = kBlocks;
+  config.write_fraction = 0.3;
+  config.payload_bytes = kPayload;
+
+  util::pcg64 gen_a(test::seed(261));
+  util::pcg64 gen_b(test::seed(263));
+  const std::vector<request> hot =
+      workload::hotspot(gen_a, config, /*hot_probability=*/0.9,
+                        /*hot_region_fraction=*/0.05);
+  const std::vector<request> flat = workload::uniform(gen_b, config);
+
+  const oram::access_trace trace_a =
+      run_service_workload(backend_kind::hier, hot, 265);
+  const oram::access_trace trace_b =
+      run_service_workload(backend_kind::hier, flat, 267);
+
+  // The global slot already encodes (level, offset) — levels are laid
+  // out contiguously — so the raw position streams audit directly.
+  const std::vector<std::uint64_t> positions_a =
+      analysis::storage_read_positions(trace_a);
+  const std::vector<std::uint64_t> positions_b =
+      analysis::storage_read_positions(trace_b);
+  ASSERT_GT(positions_a.size(), 500u);
+  ASSERT_GT(positions_b.size(), 500u);
+
+  const std::uint64_t universe =
+      std::max(*std::max_element(positions_a.begin(), positions_a.end()),
+               *std::max_element(positions_b.begin(), positions_b.end())) +
+      1;
+  const analysis::equality_report report =
+      analysis::audit_distribution_equality(positions_a, positions_b,
+                                            universe);
+  EXPECT_TRUE(report.passed())
+      << "hier level probes: ks " << report.ks << " (<= "
       << report.ks_threshold << "), chi2 " << report.chi_square << " (<= "
       << report.chi_threshold << ") over " << report.samples_a << " vs "
       << report.samples_b << " samples";

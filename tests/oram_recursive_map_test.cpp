@@ -97,6 +97,21 @@ TEST(RecursiveMap, BuildsExpectedLevelCount) {
   EXPECT_LE(map.trusted_bytes(), 64u * 8u);
 }
 
+TEST(RecursiveMap, LookupPaysOneRoundTripPerLevel) {
+  fixture fx;
+  // 65,536 / 16 per block = 4,096 -> 256 -> 16 (<= 64 stop): 3 ORAM
+  // levels. Each level's path access is one dependent exchange — the
+  // deeper block address comes out of the shallower block's payload —
+  // so a walk of k levels must count exactly k device round trips.
+  recursive_position_map map(fx.config(65536, 16, 64), fx.memory, fx.cpu,
+                             fx.rng, nullptr);
+  ASSERT_EQ(map.level_count(), 3u);
+  fx.memory.reset_stats();
+  std::optional<leaf_id> out;
+  map.lookup(7, out);
+  EXPECT_EQ(fx.memory.stats().round_trips, map.level_count());
+}
+
 TEST(RecursiveMap, AssignLookupRemoveRoundTrip) {
   fixture fx;
   recursive_position_map map(fx.config(4096, 16, 32), fx.memory, fx.cpu,

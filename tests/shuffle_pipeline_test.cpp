@@ -267,7 +267,7 @@ TEST_P(IncrementalBounded, StagedBlocksStayCoherent) {
   const controller_stats& stats = oram.stats();
   EXPECT_GT(stats.periods, 2u);
   if (kind == backend_kind::partitioned || kind == backend_kind::path ||
-      kind == backend_kind::ring) {
+      kind == backend_kind::ring || kind == backend_kind::hier) {
     // Native stepped jobs: a one-unit budget splits every period into
     // many slices.
     EXPECT_GT(stats.shuffle_slices, stats.periods);

@@ -89,6 +89,83 @@ TEST(Device, RejectsNonPositiveThroughput) {
   EXPECT_THROW(block_device{bad}, horam::contract_error);
 }
 
+// ------------------------------------------------ round-trip counting
+
+TEST(Device, EachBareOpIsOneRoundTrip) {
+  block_device device(simple_profile());
+  // Outside any scope, every operation's input could depend on the
+  // previous result: each is its own dependent exchange.
+  device.read(0, 100);
+  device.write(500, 100);
+  device.read(1000, 100);
+  EXPECT_EQ(device.stats().round_trips, 3u);
+}
+
+TEST(Device, TripScopeBatchesOpsIntoOneTrip) {
+  block_device device(simple_profile());
+  {
+    trip_scope trip(&device);
+    device.read(0, 100);
+    device.read(4096, 100);
+    device.write(8192, 200);
+  }
+  EXPECT_EQ(device.stats().round_trips, 1u);
+  // Timing is untouched by scoping: an identical unscoped sequence on
+  // a fresh device accumulates the same busy time.
+  block_device control(simple_profile());
+  control.read(0, 100);
+  control.read(4096, 100);
+  control.write(8192, 200);
+  EXPECT_EQ(device.stats().busy_time, control.stats().busy_time);
+}
+
+TEST(Device, EmptyTripScopeCountsNothing) {
+  block_device device(simple_profile());
+  { trip_scope trip(&device); }
+  EXPECT_EQ(device.stats().round_trips, 0u);
+}
+
+TEST(Device, NestedTripScopesFoldIntoOutermost) {
+  block_device device(simple_profile());
+  {
+    trip_scope outer(&device);
+    device.read(0, 100);
+    {
+      trip_scope inner(&device);
+      device.write(500, 100);
+    }
+    device.read(1000, 100);
+  }
+  EXPECT_EQ(device.stats().round_trips, 1u);
+}
+
+TEST(Device, TripScopeCountsPerDevice) {
+  block_device storage(simple_profile());
+  block_device memory(simple_profile());
+  {
+    trip_scope trip(&storage, &memory);
+    storage.read(0, 100);
+    memory.read(0, 100);
+  }
+  EXPECT_EQ(storage.stats().round_trips, 1u);
+  EXPECT_EQ(memory.stats().round_trips, 1u);
+  {
+    // A scope where only one lane sees traffic charges only that lane.
+    trip_scope trip(&storage, &memory);
+    storage.read(4096, 100);
+  }
+  EXPECT_EQ(storage.stats().round_trips, 2u);
+  EXPECT_EQ(memory.stats().round_trips, 1u);
+}
+
+TEST(Device, ResetStatsClearsRoundTrips) {
+  block_device device(simple_profile());
+  device.read(0, 100);
+  EXPECT_EQ(device.stats().round_trips, 1u);
+  device.reset_stats();
+  EXPECT_EQ(device.stats().round_trips, 0u);
+}
+
 // Calibration against the thesis measurements (Table 5-2 / 5-3): a
 // random 1 KB read ~ 77 us; a Path ORAM request doing 4 random 4 KB
 // bucket reads + 4 random 4 KB bucket writes ~ 1.03 ms.

@@ -8,6 +8,11 @@ computed uniformly from the fields every bench emits via json_fields():
 
     (device_read_ops + device_write_ops) / requests
 
+and, where a run emits it, the online ``round_trips_per_request``
+field (dependency-aware storage exchanges per request) under the same
+tolerance band — a backend quietly growing an extra dependent hop per
+request is exactly the regression the hier backend exists to avoid.
+
 The simulator is deterministic, so the committed numbers are exactly
 reproducible on any host; the tolerance band exists to absorb benign
 run-matrix drift (e.g. a bench growing an extra warm-up round), not
@@ -50,6 +55,14 @@ IDENTITY_KEYS = {
     "ablation_shards": ("backend", "shards"),
     "ablation_backends": ("backend",),
     "ablation_coalesce": ("workload", "backend", "shards", "coalescing"),
+    "ablation_threads": ("backend", "shards", "requested_threads"),
+    "ablation_shuffle_overlap": (
+        "backend",
+        "shards",
+        "policy",
+        "slice_budget_ns",
+    ),
+    "ablation_round_trips": ("storage_profile", "backend"),
 }
 
 
@@ -70,6 +83,23 @@ def ops_per_request(run):
         return None
     ops = run.get("device_read_ops", 0) + run.get("device_write_ops", 0)
     return ops / requests
+
+
+def round_trips_per_request(run):
+    # Gated only when the run emits it (older baselines predate the
+    # counter); requests==0 rows gate nothing, like ops_per_request.
+    value = run.get("round_trips_per_request")
+    if value is None or not run.get("requests", 0):
+        return None
+    return float(value)
+
+
+# Gated metrics: (label, extractor). An extractor returning None for
+# either side of a row skips that metric for that row.
+METRICS = (
+    ("device ops/request", ops_per_request),
+    ("round trips/request", round_trips_per_request),
+)
 
 
 def load_runs(path):
@@ -139,8 +169,7 @@ def main():
             )
             continue
         for key, baseline_run in baseline_runs.items():
-            baseline_value = ops_per_request(baseline_run)
-            if baseline_value is None:
+            if ops_per_request(baseline_run) is None:
                 continue  # a baseline row with no requests gates nothing
             fresh_run = fresh_runs.get(key)
             if fresh_run is None:
@@ -149,29 +178,33 @@ def main():
                     f"document"
                 )
                 continue
-            fresh_value = ops_per_request(fresh_run)
-            if fresh_value is None:
+            if ops_per_request(fresh_run) is None:
                 failures.append(
                     f"{bench} [{label(key)}]: fresh run has no requests"
                 )
                 continue
-            compared += 1
-            ceiling = baseline_value * (1.0 + args.tolerance)
-            floor = baseline_value / (1.0 + args.tolerance)
-            if fresh_value > ceiling:
-                failures.append(
-                    f"{bench} [{label(key)}]: device ops/request "
-                    f"{fresh_value:.3f} exceeds baseline "
-                    f"{baseline_value:.3f} (+{args.tolerance:.0%} "
-                    f"ceiling {ceiling:.3f})"
-                )
-            elif fresh_value < floor:
-                improvements.append(
-                    f"{bench} [{label(key)}]: device ops/request "
-                    f"improved {baseline_value:.3f} -> "
-                    f"{fresh_value:.3f}; refresh the baseline to lock "
-                    f"it in"
-                )
+            for metric_label, extract in METRICS:
+                baseline_value = extract(baseline_run)
+                fresh_value = extract(fresh_run)
+                if baseline_value is None or fresh_value is None:
+                    continue
+                compared += 1
+                ceiling = baseline_value * (1.0 + args.tolerance)
+                floor = baseline_value / (1.0 + args.tolerance)
+                if fresh_value > ceiling:
+                    failures.append(
+                        f"{bench} [{label(key)}]: {metric_label} "
+                        f"{fresh_value:.3f} exceeds baseline "
+                        f"{baseline_value:.3f} (+{args.tolerance:.0%} "
+                        f"ceiling {ceiling:.3f})"
+                    )
+                elif fresh_value < floor:
+                    improvements.append(
+                        f"{bench} [{label(key)}]: {metric_label} "
+                        f"improved {baseline_value:.3f} -> "
+                        f"{fresh_value:.3f}; refresh the baseline to "
+                        f"lock it in"
+                    )
 
     for note in improvements:
         print(f"note: {note}")
@@ -180,8 +213,8 @@ def main():
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
     print(
-        f"bench regression gate: {compared} run(s) within "
-        f"+{args.tolerance:.0%} of baseline"
+        f"bench regression gate: {compared} metric comparison(s) "
+        f"within +{args.tolerance:.0%} of baseline"
     )
     return 0
 
